@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Every benchmark wraps one paper experiment in ``benchmark.pedantic`` with a
+single round: the experiments are deterministic simulations, so repeated
+rounds would only re-measure the same computation. Each test prints the
+regenerated table/figure rows (run with ``-s`` to see them) and asserts the
+paper's *shape* claims — orderings and rough factors, not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run one experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,57 @@
+"""Fig. 10 — compression ratio and index memory across all four datasets.
+
+Paper shapes per subplot: dbDedup > trad-dedup at equal chunk size;
+dbDedup's index stays flat as chunks shrink while trad-dedup's explodes;
+Snappy's 1.6-2.3x composes with dedup; Wikipedia ≫ Enron > forums in
+absolute ratio.
+"""
+
+import pytest
+
+from repro.bench.experiments import fig10
+
+TARGET = 1_000_000
+
+
+@pytest.mark.parametrize(
+    "workload", ["wikipedia", "enron", "stackexchange", "messageboards"]
+)
+def test_fig10_per_dataset(once, workload):
+    result = once(fig10, workload, target_bytes=TARGET)
+    print()
+    print(result.render())
+
+    db_64 = result.row("dbDedup-64B")
+    db_1k = result.row("dbDedup-1KB")
+    trad_4k = result.row("trad-dedup-4KB")
+    trad_64 = result.row("trad-dedup-64B")
+    snappy = result.row("Snappy")
+
+    # dbDedup achieves at least trad-dedup's ratio at far less memory.
+    assert db_64.dedup_ratio >= trad_64.dedup_ratio * 0.9
+    assert db_64.index_memory_bytes < trad_64.index_memory_bytes
+    assert db_64.dedup_ratio > trad_4k.dedup_ratio
+
+    # Index memory: dbDedup roughly flat across chunk sizes (≤ K per
+    # record), trad-dedup grows by an order of magnitude.
+    assert db_64.index_memory_bytes < db_1k.index_memory_bytes * 4 + 4096
+    assert trad_64.index_memory_bytes > trad_4k.index_memory_bytes * 4
+
+    # Block compression composes on top of dedup.
+    assert db_64.combined_ratio > db_64.dedup_ratio
+    assert snappy.combined_ratio > 1.2
+
+
+def test_fig10_cross_dataset_ordering(once):
+    def sweep():
+        return {
+            name: fig10(name, target_bytes=600_000).row("dbDedup-64B").dedup_ratio
+            for name in ("wikipedia", "enron", "messageboards")
+        }
+
+    ratios = once(sweep)
+    print()
+    print("dbDedup-64B dedup ratios:", ratios)
+    # Paper ordering: versioned wiki ≫ quoted email > forum quoting.
+    assert ratios["wikipedia"] > ratios["enron"] > ratios["messageboards"]
+    assert ratios["messageboards"] >= 1.0

@@ -1,0 +1,59 @@
+"""Fig. 12 — throughput and client latency: Original vs dbDedup vs Snappy.
+
+Paper: dbDedup imposes negligible overhead on throughput and on the whole
+latency CDF (99.9%-tile within 1%); Snappy costs slightly more because it
+compresses inline on the write path (up to 5% on Wikipedia).
+"""
+
+from repro.bench.experiments import fig12
+
+WORKLOADS = ("wikipedia", "enron", "stackexchange", "messageboards")
+
+
+def test_fig12_dedup_overhead_negligible(once):
+    result = once(fig12, workloads=WORKLOADS, target_bytes=350_000)
+    print()
+    print(result.render())
+
+    # Fig. 12b: latency CDF curves for Wikipedia.
+    from repro.bench.plot import ascii_cdf
+
+    def cdf(latencies):
+        ordered = sorted(latencies)
+        step = max(1, len(ordered) // 40)
+        return [
+            (ordered[i] * 1e3, (i + 1) / len(ordered))
+            for i in range(0, len(ordered), step)
+        ]
+
+    print()
+    print(ascii_cdf(
+        {
+            "original": cdf(result.row("wikipedia", "original").latencies_s),
+            "dbdedup": cdf(result.row("wikipedia", "dbdedup").latencies_s),
+        },
+        title="Fig. 12b: client latency CDF (wikipedia, ms)",
+    ))
+
+    for workload in WORKLOADS:
+        original = result.row(workload, "original")
+        dedup = result.row(workload, "dbdedup")
+        snappy = result.row(workload, "snappy")
+
+        # Throughput: dbDedup within 2% of original.
+        assert dedup.throughput_ops > original.throughput_ops * 0.98
+        # Latency CDF: mean, median and tail all within 2%.
+        assert dedup.mean_latency_s < original.mean_latency_s * 1.02
+        assert dedup.p50_latency_s < original.p50_latency_s * 1.02
+        assert dedup.p999_latency_s < original.p999_latency_s * 1.05
+        # Inline Snappy is the one paying on the write path.
+        assert snappy.mean_latency_s >= original.mean_latency_s
+
+        # Fig. 12b: the whole CDF tracks, not just summary points.
+        from repro.util.stats import percentile
+
+        for pct in (10, 25, 75, 90, 99):
+            base = percentile(list(original.latencies_s), pct)
+            ours = percentile(list(dedup.latencies_s), pct)
+            assert ours < base * 1.03
+

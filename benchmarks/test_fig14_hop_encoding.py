@@ -1,0 +1,45 @@
+"""Fig. 14 — hop encoding vs version jumping across hop distances.
+
+Paper: version jumping loses 60-90% of backward encoding's compression
+(reference versions stored raw) and recovers as H grows; hop encoding stays
+within ~10% of backward at every H; hop's worst-case retrievals stay close
+to version jumping's H, far below backward's N; both schemes' write-back
+counts approach N as H grows.
+"""
+
+from repro.bench.experiments import fig14
+
+HOP_DISTANCES = (4, 8, 16, 32)
+REVISIONS = 160
+
+
+def test_fig14_hop_vs_version_jumping(once):
+    result = once(fig14, hop_distances=HOP_DISTANCES, revisions=REVISIONS)
+    print()
+    print(result.render())
+
+    hop_rows = {row.hop_distance: row for row in result.rows_for("hop")}
+    vjump_rows = {
+        row.hop_distance: row for row in result.rows_for("version-jumping")
+    }
+
+    for h in HOP_DISTANCES:
+        hop = hop_rows[h]
+        vjump = vjump_rows[h]
+        # Compression: hop far above version jumping at every H, and close
+        # to plain backward at the paper's default H=16 and beyond. (At
+        # very small H the many short-span hop deltas cost more; the paper
+        # notes the ratio "remains relatively steady" from its default.)
+        assert hop.compression_ratio > vjump.compression_ratio * 1.4
+        if h >= 16:
+            assert hop.normalized_ratio > 0.8
+        # Decode cost: both bounded far below backward's chain length.
+        assert hop.worst_case_retrievals < result.backward_retrievals / 2
+        assert vjump.worst_case_retrievals <= h + 1
+
+    # Version jumping approaches backward's ratio as H grows.
+    assert vjump_rows[32].normalized_ratio > vjump_rows[4].normalized_ratio
+    # Version jumping's loss is severe at small H (paper: 60-90% loss).
+    assert vjump_rows[4].normalized_ratio < 0.6
+    # Decode cost grows with H for hop encoding as well.
+    assert hop_rows[32].worst_case_retrievals > hop_rows[4].worst_case_retrievals

@@ -1,0 +1,43 @@
+"""Fig. 15 — anchor-interval sweep vs classic xDelta.
+
+Paper: at interval 16 dbDedup ≈ xDelta; at 64 it is ~80% faster for ~7%
+ratio loss; at 128 another ~10% faster for ~15% loss. The monotone
+throughput/ratio trade-off is the claim; absolute MB/s are implementation-
+bound (C there, Python+numpy here).
+"""
+
+from repro.bench.experiments import fig15
+
+
+def test_fig15_anchor_interval_tradeoff(once):
+    result = once(fig15, pair_count=20, body_bytes=10_000)
+    print()
+    print(result.render())
+
+    xdelta = result.row("xDelta")
+    fine = result.row("anchor-16")
+    default = result.row("anchor-64")
+    coarse = result.row("anchor-128")
+
+    # At the finest interval the ratio matches xDelta's closely.
+    assert fine.compression_ratio > xdelta.compression_ratio * 0.9
+    # Larger intervals run faster...
+    assert coarse.throughput_mb_s > fine.throughput_mb_s
+    assert default.throughput_mb_s > fine.throughput_mb_s * 1.1
+    # ...for bounded ratio loss at the paper's default.
+    assert default.compression_ratio > xdelta.compression_ratio * 0.6
+    # The trade-off is monotone in the right direction.
+    assert coarse.compression_ratio <= default.compression_ratio * 1.05
+
+
+def test_fig15_throughput_kernel(benchmark):
+    """Wall-clock kernel benchmark: one delta compression at interval 64."""
+    from repro.bench.delta_exp import revision_pairs
+    from repro.delta.dbdelta import DeltaCompressor
+
+    source, target = revision_pairs(count=1, body_bytes=10_000, seed=3)[0]
+    compressor = DeltaCompressor(anchor_interval=64)
+    delta = benchmark(compressor.compress, source, target)
+    from repro.delta.decode import apply_delta
+
+    assert apply_delta(source, delta) == target

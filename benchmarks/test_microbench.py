@@ -1,0 +1,117 @@
+"""Microbenchmarks of the hot primitives (wall-clock, pytest-benchmark).
+
+Not a paper figure — a performance regression net over the kernels every
+experiment runs through: chunking, sketching, hashing, indexing, delta
+encode/re-encode/decode, and block compression.
+"""
+
+import random
+
+import pytest
+
+from repro.chunking.cdc import ContentDefinedChunker
+from repro.compression.snappy import snappy_compress, snappy_decompress
+from repro.delta.dbdelta import DeltaCompressor
+from repro.delta.decode import apply_delta
+from repro.delta.reencode import delta_reencode
+from repro.hashing.adler import rolling_adler32
+from repro.hashing.murmur import murmur3_32
+from repro.hashing.rabin import rolling_rabin
+from repro.index.cuckoo import CuckooFeatureIndex
+from repro.sketch.features import SketchExtractor
+from repro.workloads.edits import revise
+from repro.workloads.text import TextGenerator
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    text_gen = TextGenerator(seed=99)
+    rng = random.Random(99)
+    base = text_gen.document(32_000)
+    target = revise(rng, text_gen, base, num_edits=6)
+    return base.encode(), target.encode()
+
+
+def test_rolling_rabin_32k(benchmark, corpus):
+    data, _ = corpus
+    hashes = benchmark(rolling_rabin, data, 48)
+    assert len(hashes) == len(data) - 47
+
+
+def test_rolling_adler_32k(benchmark, corpus):
+    data, _ = corpus
+    checksums = benchmark(rolling_adler32, data, 16)
+    assert len(checksums) == len(data) - 15
+
+
+def test_murmur3_1k(benchmark, corpus):
+    data, _ = corpus
+    value = benchmark(murmur3_32, data[:1024])
+    assert 0 <= value <= 0xFFFFFFFF
+
+
+def test_cdc_chunking_32k(benchmark, corpus):
+    data, _ = corpus
+    chunker = ContentDefinedChunker(avg_size=64)
+    chunks = benchmark(chunker.chunks, data)
+    assert b"".join(c.data for c in chunks) == data
+
+
+def test_sketch_extraction_32k(benchmark, corpus):
+    data, _ = corpus
+    extractor = SketchExtractor(
+        chunker=ContentDefinedChunker(avg_size=64), top_k=8
+    )
+    sketch = benchmark(extractor.sketch, data)
+    assert sketch.features
+
+
+def test_cuckoo_lookup_insert(benchmark):
+    index = CuckooFeatureIndex(num_buckets=1 << 12)
+    for feature in range(5000):
+        index.insert(feature, f"r{feature}")
+
+    counter = iter(range(10**9))
+
+    def op():
+        n = next(counter)
+        return index.lookup_and_insert(n % 5000, f"x{n}")
+
+    benchmark(op)
+
+
+def test_delta_compress_32k(benchmark, corpus):
+    base, target = corpus
+    compressor = DeltaCompressor(anchor_interval=64)
+    delta = benchmark(compressor.compress, base, target)
+    assert apply_delta(base, delta) == target
+
+
+def test_delta_reencode_32k(benchmark, corpus):
+    base, target = corpus
+    forward = DeltaCompressor(anchor_interval=64).compress(base, target)
+    backward = benchmark(delta_reencode, base, forward)
+    assert apply_delta(target, backward) == base
+
+
+def test_delta_decode_32k(benchmark, corpus):
+    base, target = corpus
+    from repro.delta.instructions import deserialize, serialize
+
+    payload = serialize(DeltaCompressor(anchor_interval=64).compress(base, target))
+    insts = deserialize(payload)
+    result = benchmark(apply_delta, base, insts)
+    assert result == target
+
+
+def test_snappy_compress_32k(benchmark, corpus):
+    data, _ = corpus
+    compressed = benchmark(snappy_compress, data)
+    assert snappy_decompress(compressed) == data
+
+
+def test_snappy_decompress_32k(benchmark, corpus):
+    data, _ = corpus
+    compressed = snappy_compress(data)
+    result = benchmark(snappy_decompress, compressed)
+    assert result == data

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Bringing your own workload: implement, profile, then measure.
+
+Shows the full downstream-user loop for a dataset the library does not
+ship: (1) subclass `Workload` for a log-shipping corpus whose records are
+configuration snapshots (mostly identical, few lines drift per snapshot),
+(2) profile its redundancy with `repro.analysis` to predict whether dedup
+will pay, (3) run it through the cluster and compare prediction with
+outcome, and (4) save the trace for reproducible re-runs.
+
+Run:  python examples/custom_workload.py
+"""
+
+import random
+import tempfile
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro import Cluster, ClusterConfig, DedupConfig, Operation
+from repro.analysis import profile_corpus
+from repro.workloads.base import Workload
+from repro.workloads.trace_io import load_trace_file, save_trace
+
+
+class ConfigSnapshotWorkload(Workload):
+    """Periodic dumps of a service's configuration.
+
+    Classic ops pattern: a cron job inserts the full rendered config of
+    every service each hour. Configs drift a handful of lines at a time,
+    so consecutive snapshots of one service are near-duplicates — prime
+    dedup material the DBMS cannot see on its own.
+    """
+
+    name = "config-snapshots"
+
+    def __init__(self, seed: int = 1, target_bytes: int = 400_000,
+                 num_services: int = 4) -> None:
+        super().__init__(seed=seed, target_bytes=target_bytes)
+        self.num_services = num_services
+
+    def _initial_config(self, rng: random.Random, service: int) -> list[str]:
+        lines = [f"# service-{service} configuration"]
+        for key in range(80):
+            lines.append(
+                f"option_{key} = {rng.choice(['on', 'off', rng.randint(0, 9999)])}"
+            )
+        return lines
+
+    def insert_trace(self) -> Iterator[Operation]:
+        rng = random.Random(self.seed)
+        configs = {
+            service: self._initial_config(rng, service)
+            for service in range(self.num_services)
+        }
+        produced = 0
+        snapshot = 0
+        while produced < self.target_bytes:
+            service = snapshot % self.num_services
+            lines = configs[service]
+            # Drift: a couple of options change per snapshot.
+            for _ in range(rng.randint(1, 3)):
+                index = rng.randrange(1, len(lines))
+                key = lines[index].split(" = ")[0]
+                lines[index] = f"{key} = {rng.randint(0, 9999)}"
+            content = "\n".join(lines).encode()
+            produced += len(content)
+            yield Operation(
+                kind="insert",
+                database=self.name,
+                record_id=f"cfg/{service}/{snapshot // self.num_services}",
+                content=content,
+            )
+            snapshot += 1
+
+    def mixed_trace(self) -> Iterator[Operation]:
+        # Ops dashboards read the latest snapshot after every insert.
+        for op in self.insert_trace():
+            yield op
+            yield Operation(kind="read", database=self.name,
+                            record_id=op.record_id)
+
+
+def main() -> None:
+    workload = ConfigSnapshotWorkload(seed=11, target_bytes=400_000)
+
+    # 1. Profile before committing to dedup.
+    contents = [op.content for op in workload.insert_trace()]
+    profile = profile_corpus(contents, chunk_size=64)
+    print("corpus profile:", profile.render())
+    print(f"prediction: cross-record duplication of "
+          f"{profile.cross_record_duplication * 100:.0f}% -> dedup should win\n")
+
+    # 2. Measure.
+    cluster = Cluster(ClusterConfig(dedup=DedupConfig(chunk_size=64)))
+    result = cluster.run(workload.insert_trace())
+    print(f"measured: storage {result.storage_compression_ratio:.1f}x, "
+          f"network {result.network_compression_ratio:.1f}x, "
+          f"index {result.index_memory_bytes / 1024:.1f} KB")
+    print(cluster.primary.engine.describe())
+
+    # 3. Persist the exact trace for the next benchmarking session.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "config.trace"
+        size = save_trace(workload.insert_trace(), path)
+        replayed = Cluster(
+            ClusterConfig(dedup=DedupConfig(chunk_size=64))
+        ).run(load_trace_file(path))
+        print(f"\ntrace file: {size / 1e6:.2f} MB; replayed run matches: "
+              f"{replayed.stored_bytes == result.stored_bytes}")
+
+
+if __name__ == "__main__":
+    main()

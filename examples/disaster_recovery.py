@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Durability tour: snapshots, oplog replay, and multi-replica fan-out.
+
+1. Load a wiki corpus into a 1-primary / 2-secondary cluster.
+2. Snapshot the primary's (delta-encoded) store to a file and restore it —
+   byte-identical, including encoding chains.
+3. Simulate a total data loss and rebuild the node from its oplog alone.
+
+Run:  python examples/disaster_recovery.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import Cluster, ClusterConfig, DedupConfig, WikipediaWorkload
+from repro.db.recovery import replay_oplog
+from repro.db.snapshot import load_snapshot, save_snapshot
+
+
+def main() -> None:
+    cluster = Cluster(
+        ClusterConfig(dedup=DedupConfig(chunk_size=64), num_secondaries=2)
+    )
+    workload = WikipediaWorkload(seed=42, target_bytes=400_000)
+    ops = list(workload.insert_trace())
+    for op in ops:
+        cluster.execute(op)
+    cluster.finalize()
+    primary_db = cluster.primary.db
+
+    print(f"loaded {len(ops)} records "
+          f"({primary_db.logical_raw_bytes / 1e6:.2f} MB raw, "
+          f"{primary_db.stored_bytes / 1e6:.2f} MB stored)")
+    print(f"secondaries in sync: {cluster.replicas_converged()} "
+          f"(x{len(cluster.secondaries)})")
+
+    # --- snapshot & restore -------------------------------------------------
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "primary.snapshot"
+        size = save_snapshot(primary_db, path)
+        restored = load_snapshot(path)
+        checked = sum(
+            1 for op in ops
+            if restored.read(op.database, op.record_id)[0] == op.content
+        )
+        print(f"\nsnapshot: {size / 1e6:.2f} MB on disk "
+              f"({primary_db.logical_raw_bytes / size:.1f}x smaller than raw)")
+        print(f"restore verified: {checked}/{len(ops)} records byte-identical")
+        print(f"encoded forms preserved: "
+              f"{sum(1 for r in restored.records.values() if not r.is_raw)} "
+              f"delta records restored as deltas")
+
+    # --- oplog replay after total data loss ---------------------------------
+    recovered, report = replay_oplog(cluster.primary.oplog.entries())
+    checked = sum(
+        1 for op in ops
+        if recovered.read(op.database, op.record_id)[0] == op.content
+    )
+    print(f"\noplog replay: {report.applied} entries applied, "
+          f"{report.decode_failures} decode failures")
+    print(f"recovery verified: {checked}/{len(ops)} records byte-identical")
+    print("(replayed records start raw; background write-backs would "
+          "re-compress them over time)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Corpus and chain analysis tooling."""
+
+from repro.analysis.corpus import CorpusProfile, profile_corpus
+from repro.analysis.chains import ChainProfile, profile_chains
+
+__all__ = ["CorpusProfile", "profile_corpus", "ChainProfile", "profile_chains"]

@@ -1,0 +1,84 @@
+"""Corpus characterization — the §5.1-style dataset summary.
+
+Answers, for any record stream, the questions the paper answers about its
+datasets before evaluating: how big are records, how much intrinsic
+redundancy is there at a given chunk size, and how much of it is
+*cross-record* (reachable by dedup) versus *intra-record* (reachable by
+block compression).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.chunking.cdc import ContentDefinedChunker
+from repro.index.exact import ExactChunkIndex
+from repro.util.stats import RunningStats, percentile
+
+
+@dataclass
+class CorpusProfile:
+    """Summary statistics of one record corpus."""
+
+    records: int
+    total_bytes: int
+    mean_record_bytes: float
+    median_record_bytes: float
+    p90_record_bytes: float
+    max_record_bytes: int
+    #: Fraction of chunks that duplicate an earlier chunk of a *different*
+    #: record — the redundancy similarity dedup can reach.
+    cross_record_duplication: float
+    #: Fraction of chunks duplicating an earlier chunk of the same record.
+    intra_record_duplication: float
+
+    def render(self) -> str:
+        """Render this result as an aligned text table/summary."""
+        return (
+            f"records={self.records} total={self.total_bytes / 1e6:.2f}MB "
+            f"mean={self.mean_record_bytes:.0f}B median={self.median_record_bytes:.0f}B "
+            f"p90={self.p90_record_bytes:.0f}B max={self.max_record_bytes}B "
+            f"cross-dup={self.cross_record_duplication * 100:.1f}% "
+            f"intra-dup={self.intra_record_duplication * 100:.1f}%"
+        )
+
+
+def profile_corpus(
+    contents: Iterable[bytes], chunk_size: int = 64
+) -> CorpusProfile:
+    """Profile a record stream at the given analysis chunk size."""
+    chunker = ContentDefinedChunker(avg_size=chunk_size)
+    global_index = ExactChunkIndex()
+    sizes: list[float] = []
+    stats = RunningStats()
+    total = 0
+    cross = 0
+    intra = 0
+    chunks_seen = 0
+    for content in contents:
+        sizes.append(float(len(content)))
+        stats.add(float(len(content)))
+        total += len(content)
+        local_seen: set[bytes] = set()
+        for chunk in chunker.chunks(content):
+            chunks_seen += 1
+            digest = global_index.digest(chunk.data)
+            if digest in local_seen:
+                intra += 1
+                continue
+            if global_index.observe(chunk.data):
+                cross += 1
+            local_seen.add(digest)
+    if not sizes:
+        raise ValueError("cannot profile an empty corpus")
+    return CorpusProfile(
+        records=len(sizes),
+        total_bytes=total,
+        mean_record_bytes=stats.mean,
+        median_record_bytes=percentile(sizes, 50),
+        p90_record_bytes=percentile(sizes, 90),
+        max_record_bytes=int(stats.maximum),
+        cross_record_duplication=cross / chunks_seen if chunks_seen else 0.0,
+        intra_record_duplication=intra / chunks_seen if chunks_seen else 0.0,
+    )

@@ -1,0 +1,5 @@
+"""Baseline systems the paper compares against."""
+
+from repro.baselines.trad_dedup import TradDedupEngine, TradDedupStats
+
+__all__ = ["TradDedupEngine", "TradDedupStats"]

@@ -1,0 +1,12 @@
+"""Experiment harness regenerating every table and figure of §5.
+
+Each ``figNN`` function runs a scaled-down but structurally faithful
+version of the paper's experiment and returns a result object that renders
+the same rows/series the paper plots. The ``benchmarks/`` tree wires these
+into pytest-benchmark and asserts the paper's *shape* claims.
+"""
+
+from repro.bench.report import render_table
+from repro.bench import experiments
+
+__all__ = ["render_table", "experiments"]

@@ -1,0 +1,35 @@
+"""One import point for every table/figure experiment.
+
+========  =============================================  ====================
+Id        Paper result                                   Function
+========  =============================================  ====================
+Fig. 1    Headline Wikipedia compression + index memory  :func:`fig01`
+Table 2   Encoding-scheme cost model                     :func:`table2`
+Fig. 7    Record-size / space-saving CDFs                :func:`fig07`
+Fig. 10   Compression ratio + index memory, 4 datasets   :func:`fig10`
+Fig. 11   Storage vs network compression                 :func:`fig11`
+Fig. 12   Throughput + latency impact                    :func:`fig12`
+Fig. 13a  Source-cache reward sweep                      :func:`fig13a`
+Fig. 13b  Write-back cache under bursts                  :func:`fig13b`
+Fig. 14   Hop encoding vs version jumping                :func:`fig14`
+Fig. 15   Anchor-interval sweep vs xDelta                :func:`fig15`
+========  =============================================  ====================
+"""
+
+from repro.bench.compression import fig01, fig07, fig10, fig11
+from repro.bench.delta_exp import fig15
+from repro.bench.encoding_exp import fig14, table2
+from repro.bench.performance import fig12, fig13a, fig13b
+
+__all__ = [
+    "fig01",
+    "fig07",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13a",
+    "fig13b",
+    "fig14",
+    "fig15",
+    "table2",
+]

@@ -1,0 +1,79 @@
+"""One-shot report: run every experiment and write a markdown document.
+
+``python -m repro report --out results.md`` regenerates all tables and
+figures at a configurable scale and collects the rendered output — the
+quickest way to produce a fresh EXPERIMENTS-style artifact on new
+hardware or after a change.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from pathlib import Path
+
+from repro.bench import experiments
+from repro.bench import ablations
+from repro.bench.scale import scale_sweep
+
+
+def _sections(target_bytes: int) -> list[tuple[str, Callable[[], object]]]:
+    perf_bytes = min(target_bytes, 400_000)
+    return [
+        ("Fig. 1 — headline (Wikipedia)",
+         lambda: experiments.fig01(target_bytes=target_bytes)),
+        ("Table 2 — encoding cost model", experiments.table2),
+        ("Fig. 7 — size/savings CDF (Wikipedia)",
+         lambda: experiments.fig07("wikipedia", target_bytes=target_bytes)),
+        ("Fig. 10 — Enron",
+         lambda: experiments.fig10("enron", target_bytes=target_bytes)),
+        ("Fig. 10 — Stack Exchange",
+         lambda: experiments.fig10("stackexchange", target_bytes=target_bytes)),
+        ("Fig. 10 — Message Boards",
+         lambda: experiments.fig10("messageboards", target_bytes=target_bytes)),
+        ("Fig. 11 — storage vs network",
+         lambda: experiments.fig11(target_bytes=target_bytes)),
+        ("Fig. 12 — throughput & latency",
+         lambda: experiments.fig12(target_bytes=perf_bytes)),
+        ("Fig. 13a — source cache rewards",
+         lambda: experiments.fig13a(target_bytes=target_bytes)),
+        ("Fig. 13b — write-back cache bursts",
+         lambda: experiments.fig13b(target_bytes=min(target_bytes, 600_000))),
+        ("Fig. 14 — hop encoding vs version jumping",
+         lambda: experiments.fig14(revisions=max(60, min(160, target_bytes // 6000)))),
+        ("Fig. 15 — anchor interval sweep", experiments.fig15),
+        ("Ablation — sketch geometry",
+         lambda: ablations.sketch_sweep(target_bytes=target_bytes)),
+        ("Ablation — replication stack",
+         lambda: ablations.network_stack_ablation(target_bytes=target_bytes)),
+        ("Ablation — background compaction",
+         lambda: ablations.compaction_ablation(target_bytes=target_bytes)),
+        ("Scale sensitivity",
+         lambda: scale_sweep(targets=(target_bytes // 3, target_bytes))),
+    ]
+
+
+def generate_report(target_bytes: int = 800_000) -> str:
+    """Run every experiment; return the assembled markdown text."""
+    parts = [
+        "# dbDedup — regenerated results",
+        "",
+        f"Corpus scale: ~{target_bytes / 1e6:.1f} MB per dataset. "
+        "See EXPERIMENTS.md for paper-vs-measured commentary.",
+        "",
+    ]
+    for title, runner in _sections(target_bytes):
+        result = runner()
+        parts.append(f"## {title}")
+        parts.append("")
+        parts.append("```")
+        parts.append(result.render())
+        parts.append("```")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def write_report(path: str | Path, target_bytes: int = 800_000) -> int:
+    """Write the full report to ``path``; returns its size in bytes."""
+    blob = generate_report(target_bytes).encode()
+    Path(path).write_bytes(blob)
+    return len(blob)

@@ -1,0 +1,88 @@
+"""Terminal plotting: ASCII line/series charts for figure output.
+
+The paper's figures are curves (CDFs, sweeps, timelines); the bench
+harness prints tables, and this module renders the same series as quick
+terminal charts so shapes are visible without leaving the shell.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+_GLYPHS = "·•oxs+*"
+
+
+def ascii_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    title: str = "",
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render one or more ``(x, y)`` series as an ASCII chart.
+
+    Args:
+        series: label → list of points. Each series gets its own glyph.
+        width/height: plot area in characters.
+        title/x_label/y_label: annotations.
+
+    Returns:
+        A multi-line string; empty series produce a placeholder note.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (label, pts) in enumerate(series.items()):
+        glyph = _GLYPHS[index % len(_GLYPHS)]
+        for x, y in pts:
+            column = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][column] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:g}"
+    bottom_label = f"{y_lo:g}"
+    margin = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        elif row_index == height // 2 and y_label:
+            prefix = y_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width // 2) + f"{x_hi:g}".rjust(width // 2)
+    lines.append(" " * (margin + 1) + x_axis)
+    if x_label:
+        lines.append(" " * (margin + 1) + x_label.center(width))
+    legend = "   ".join(
+        f"{_GLYPHS[index % len(_GLYPHS)]} {label}"
+        for index, label in enumerate(series)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def ascii_cdf(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 14,
+    title: str = "CDF",
+) -> str:
+    """Convenience wrapper for CDF curves (y in [0, 1])."""
+    return ascii_plot(series, width=width, height=height, title=title,
+                      y_label="frac")

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment results."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render an aligned monospace table with a title rule."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = [title, "=" * max(len(title), sum(widths) + 2 * (len(widths) - 1))]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        if value >= 100:
+            return f"{value:.0f}"
+        if value >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render the same result rows as CSV (for spreadsheets/plot scripts).
+
+    Values containing commas or quotes are quoted per RFC 4180.
+    """
+
+    def cell(value: object) -> str:
+        text = repr(value) if isinstance(value, float) else str(value)
+        if any(ch in text for ch in ',"\n'):
+            escaped = text.replace('"', '""')
+            return f'"{escaped}"'
+        return text
+
+    lines = [",".join(cell(h) for h in headers)]
+    lines.extend(",".join(cell(value) for value in row) for row in rows)
+    return "\n".join(lines)

@@ -1,0 +1,6 @@
+"""Record chunking: content-defined (Rabin) and fixed-size strategies."""
+
+from repro.chunking.cdc import Chunk, ContentDefinedChunker
+from repro.chunking.fixed import FixedSizeChunker
+
+__all__ = ["Chunk", "ContentDefinedChunker", "FixedSizeChunker"]

@@ -1,0 +1,106 @@
+"""Content-defined chunking with Rabin fingerprints (§3.1.1).
+
+A chunk boundary is declared after any byte where the low ``n`` bits of the
+window's Rabin hash match a fixed pattern; ``n`` bits yields an average
+chunk size of ``2^n`` bytes. Min/max clamps bound the tail of the size
+distribution, as in every production CDC system.
+
+The boundary scan itself is vectorized (one :func:`rolling_rabin` pass plus
+``np.nonzero``); only the sparse boundary candidates are visited in Python.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hashing.rabin import DEFAULT_PRIME, DEFAULT_WINDOW, rolling_rabin
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One chunk of a record: ``data == record[start:end]``."""
+
+    start: int
+    end: int
+    data: bytes
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+class ContentDefinedChunker:
+    """Rabin-fingerprint chunker with a target average chunk size.
+
+    Args:
+        avg_size: target average chunk size in bytes; must be a power of two
+            (the boundary test masks ``log2(avg_size)`` low bits).
+        min_size: boundaries closer than this to the previous one are
+            suppressed. Defaults to ``avg_size // 4``.
+        max_size: a boundary is forced at this length. Defaults to
+            ``avg_size * 4``.
+        window: rolling-hash window width in bytes.
+    """
+
+    def __init__(
+        self,
+        avg_size: int = 1024,
+        min_size: int | None = None,
+        max_size: int | None = None,
+        window: int = DEFAULT_WINDOW,
+        prime: int = DEFAULT_PRIME,
+    ) -> None:
+        if avg_size < 2 or avg_size & (avg_size - 1):
+            raise ValueError(f"avg_size must be a power of two >= 2, got {avg_size}")
+        self.avg_size = avg_size
+        self.min_size = avg_size // 4 if min_size is None else min_size
+        self.max_size = avg_size * 4 if max_size is None else max_size
+        if not 0 < self.min_size <= avg_size <= self.max_size:
+            raise ValueError(
+                f"need 0 < min_size <= avg_size <= max_size, got "
+                f"{self.min_size}/{avg_size}/{self.max_size}"
+            )
+        self.window = min(window, self.min_size)
+        self.prime = prime
+        self._mask = np.uint64(avg_size - 1)
+        # Any fixed pattern works; avg_size-1 makes the all-ones residue the
+        # boundary marker, which behaves well for low-entropy input too.
+        self._magic = np.uint64(avg_size - 1)
+
+    def boundaries(self, data: bytes) -> list[int]:
+        """Return chunk end offsets (ascending, final element ``len(data)``)."""
+        n = len(data)
+        if n == 0:
+            return []
+        hashes = rolling_rabin(data, self.window, self.prime)
+        # hashes[i] covers data[i:i+window]; a match ends a chunk after
+        # byte i+window-1, i.e. at cut position i+window.
+        candidates = np.nonzero((hashes & self._mask) == self._magic)[0] + self.window
+
+        cuts: list[int] = []
+        previous = 0
+        for cut in candidates.tolist():
+            if cut - previous < self.min_size:
+                continue
+            while cut - previous > self.max_size:
+                previous += self.max_size
+                cuts.append(previous)
+            if cut - previous >= self.min_size:
+                cuts.append(cut)
+                previous = cut
+        while n - previous > self.max_size:
+            previous += self.max_size
+            cuts.append(previous)
+        if previous < n:
+            cuts.append(n)
+        return cuts
+
+    def chunks(self, data: bytes) -> list[Chunk]:
+        """Split ``data`` into chunks; concatenating them restores ``data``."""
+        pieces = []
+        start = 0
+        for end in self.boundaries(data):
+            pieces.append(Chunk(start, end, data[start:end]))
+            start = end
+        return pieces

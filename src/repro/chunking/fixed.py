@@ -1,0 +1,35 @@
+"""Fixed-size chunking — the naive baseline to content-defined chunking.
+
+Used in tests and ablations to demonstrate the boundary-shift problem that
+motivates Rabin chunking: one inserted byte re-aligns every later chunk.
+"""
+
+from __future__ import annotations
+
+from repro.chunking.cdc import Chunk
+
+
+class FixedSizeChunker:
+    """Split records into fixed ``size``-byte chunks (last one may be short)."""
+
+    def __init__(self, size: int = 4096) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = size
+
+    def boundaries(self, data: bytes) -> list[int]:
+        """Chunk end offsets, ascending, ending at ``len(data)``."""
+        n = len(data)
+        cuts = list(range(self.size, n, self.size))
+        if n:
+            cuts.append(n)
+        return cuts
+
+    def chunks(self, data: bytes) -> list[Chunk]:
+        """Split ``data``; concatenating the chunks restores ``data``."""
+        pieces = []
+        start = 0
+        for end in self.boundaries(data):
+            pieces.append(Chunk(start, end, data[start:end]))
+            start = end
+        return pieces

@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three commands cover the common uses of the library without writing code:
+
+* ``experiment`` — regenerate one of the paper's tables/figures.
+* ``run`` — drive one workload through a configured cluster and print the
+  measurement summary.
+* ``workloads`` — list the available dataset generators.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import experiments
+from repro.bench import ablations
+from repro.core.config import DedupConfig
+from repro.db.cluster import Cluster, ClusterConfig
+from repro.workloads import ALL_WORKLOADS, make_workload
+
+#: Experiment ids accepted by ``experiment`` (paper table/figure numbers).
+EXPERIMENTS = {
+    "fig1": lambda args: experiments.fig01(target_bytes=args.target_bytes),
+    "fig7": lambda args: experiments.fig07(args.workload, target_bytes=args.target_bytes),
+    "fig10": lambda args: experiments.fig10(args.workload, target_bytes=args.target_bytes),
+    "fig11": lambda args: experiments.fig11(target_bytes=args.target_bytes),
+    "fig12": lambda args: experiments.fig12(target_bytes=min(args.target_bytes, 500_000)),
+    "fig13a": lambda args: experiments.fig13a(target_bytes=args.target_bytes),
+    "fig13b": lambda args: experiments.fig13b(target_bytes=min(args.target_bytes, 800_000)),
+    "fig14": lambda args: experiments.fig14(),
+    "fig15": lambda args: experiments.fig15(),
+    "table2": lambda args: experiments.table2(),
+    "ablation-sketch": lambda args: ablations.sketch_sweep(
+        args.workload, target_bytes=args.target_bytes
+    ),
+    "ablation-encoding": lambda args: ablations.encoding_sweep(
+        target_bytes=args.target_bytes
+    ),
+    "ablation-writeback": lambda args: ablations.writeback_capacity_sweep(
+        target_bytes=args.target_bytes
+    ),
+    "ablation-network": lambda args: ablations.network_stack_ablation(
+        target_bytes=args.target_bytes
+    ),
+    "ablation-compaction": lambda args: ablations.compaction_ablation(
+        target_bytes=args.target_bytes
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="dbDedup (SIGMOD 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    exp.add_argument("id", choices=sorted(EXPERIMENTS), help="experiment id")
+    exp.add_argument("--workload", default="wikipedia",
+                     help="dataset for per-dataset experiments")
+    exp.add_argument("--target-bytes", type=int, default=1_000_000,
+                     help="raw corpus size to synthesize")
+
+    run = sub.add_parser("run", help="run a workload through a cluster")
+    run.add_argument("--workload", default="wikipedia",
+                     choices=[cls.name for cls in ALL_WORKLOADS])
+    run.add_argument("--target-bytes", type=int, default=1_000_000)
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--chunk-size", type=int, default=64)
+    run.add_argument("--encoding", default="hop",
+                     choices=["hop", "backward", "version-jumping", "forward"])
+    run.add_argument("--hop-distance", type=int, default=16)
+    run.add_argument("--block-compression", default="none",
+                     choices=["none", "snappy", "zlib"])
+    run.add_argument("--no-dedup", action="store_true",
+                     help="disable the dedup engine (baseline)")
+    run.add_argument("--trace", default="insert", choices=["insert", "mixed"],
+                     help="insert-only load or the mixed read/write trace")
+
+    sub.add_parser("workloads", help="list available dataset generators")
+
+    record = sub.add_parser(
+        "trace-record", help="synthesize a workload trace into a file"
+    )
+    record.add_argument("path", help="output trace file")
+    record.add_argument("--workload", default="wikipedia")
+    record.add_argument("--target-bytes", type=int, default=1_000_000)
+    record.add_argument("--seed", type=int, default=7)
+    record.add_argument("--trace", default="insert", choices=["insert", "mixed"])
+
+    replay = sub.add_parser(
+        "trace-replay", help="run a recorded trace through a cluster"
+    )
+    replay.add_argument("path", help="trace file to replay")
+    replay.add_argument("--chunk-size", type=int, default=64)
+    replay.add_argument("--encoding", default="hop",
+                        choices=["hop", "backward", "version-jumping", "forward"])
+    replay.add_argument("--block-compression", default="none",
+                        choices=["none", "snappy", "zlib"])
+    replay.add_argument("--no-dedup", action="store_true")
+
+    report = sub.add_parser(
+        "report", help="run every experiment and write a markdown report"
+    )
+    report.add_argument("--out", default="results.md", help="output file")
+    report.add_argument("--target-bytes", type=int, default=800_000,
+                        help="corpus scale per dataset")
+    return parser
+
+
+def command_experiment(args: argparse.Namespace) -> int:
+    """Run one experiment id and print its rendered result."""
+    result = EXPERIMENTS[args.id](args)
+    print(result.render())
+    return 0
+
+
+def command_run(args: argparse.Namespace) -> int:
+    """Run one workload through a configured cluster; print the summary."""
+    config = ClusterConfig(
+        dedup=DedupConfig(
+            chunk_size=args.chunk_size,
+            encoding=args.encoding,
+            hop_distance=args.hop_distance,
+        ),
+        dedup_enabled=not args.no_dedup,
+        block_compression=args.block_compression,
+    )
+    cluster = Cluster(config)
+    workload = make_workload(args.workload, seed=args.seed,
+                             target_bytes=args.target_bytes)
+    trace = workload.insert_trace() if args.trace == "insert" else workload.mixed_trace()
+    result = cluster.run(trace)
+
+    print(f"workload:           {args.workload} (seed {args.seed})")
+    print(f"operations:         {result.operations} "
+          f"({result.inserts} inserts, {result.reads} reads)")
+    print(f"raw corpus:         {result.logical_bytes / 1e6:.2f} MB")
+    print(f"stored (dedup):     {result.stored_bytes / 1e6:.2f} MB "
+          f"({result.storage_compression_ratio:.2f}x)")
+    print(f"stored (physical):  {result.physical_bytes / 1e6:.2f} MB "
+          f"({result.physical_compression_ratio:.2f}x)")
+    print(f"replicated:         {result.network_bytes / 1e6:.2f} MB "
+          f"({result.network_compression_ratio:.2f}x)")
+    print(f"index memory:       {result.index_memory_bytes / 1024:.1f} KB")
+    print(f"throughput:         {result.throughput_ops:.0f} ops/s (simulated)")
+    print(f"latency p50/p99.9:  {result.latency_percentile(50) * 1e3:.2f} / "
+          f"{result.latency_percentile(99.9) * 1e3:.2f} ms")
+    print(f"replicas converged: {cluster.replicas_converged()}")
+    return 0
+
+
+def command_workloads() -> int:
+    """List the available dataset generators."""
+    from repro.workloads import EXTRA_WORKLOADS
+
+    for cls in ALL_WORKLOADS + EXTRA_WORKLOADS:
+        print(f"{cls.name:15s} {cls.__doc__.strip().splitlines()[0]}")
+    return 0
+
+
+def command_trace_record(args: argparse.Namespace) -> int:
+    """Synthesize a workload trace and write it to a file."""
+    from repro.workloads.trace_io import save_trace
+
+    workload = make_workload(args.workload, seed=args.seed,
+                             target_bytes=args.target_bytes)
+    trace = (
+        workload.insert_trace() if args.trace == "insert"
+        else workload.mixed_trace()
+    )
+    size = save_trace(trace, args.path)
+    print(f"wrote {size / 1e6:.2f} MB trace to {args.path}")
+    return 0
+
+
+def command_trace_replay(args: argparse.Namespace) -> int:
+    """Replay a recorded trace through a cluster; print the outcome."""
+    from repro.workloads.trace_io import load_trace_file
+
+    config = ClusterConfig(
+        dedup=DedupConfig(chunk_size=args.chunk_size, encoding=args.encoding),
+        dedup_enabled=not args.no_dedup,
+        block_compression=args.block_compression,
+    )
+    cluster = Cluster(config)
+    result = cluster.run(load_trace_file(args.path))
+    print(f"replayed {result.operations} operations from {args.path}")
+    print(f"storage: {result.storage_compression_ratio:.2f}x  "
+          f"network: {result.network_compression_ratio:.2f}x  "
+          f"converged: {cluster.replicas_converged()}")
+    return 0
+
+
+def command_report(args: argparse.Namespace) -> int:
+    """Regenerate every experiment into one markdown report file."""
+    from repro.bench.full_report import write_report
+
+    size = write_report(args.out, target_bytes=args.target_bytes)
+    print(f"wrote {size / 1024:.0f} KB report to {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "experiment":
+        return command_experiment(args)
+    if args.command == "run":
+        return command_run(args)
+    if args.command == "workloads":
+        return command_workloads()
+    if args.command == "trace-record":
+        return command_trace_record(args)
+    if args.command == "trace-replay":
+        return command_trace_replay(args)
+    if args.command == "report":
+        return command_report(args)
+    return 1  # pragma: no cover — argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

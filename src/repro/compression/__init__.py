@@ -1,0 +1,18 @@
+"""Block-level compressors (the paper's Snappy comparator and friends).
+
+Block compression is what operational DBMSs already do (MongoDB's
+WiredTiger uses Snappy); Fig. 1/10 show it is *complementary* to dedup —
+applying it to deduped pages multiplies the ratio.
+"""
+
+from repro.compression.block import BlockCompressor, NullCompressor, ZlibCompressor
+from repro.compression.snappy import SnappyCompressor, snappy_compress, snappy_decompress
+
+__all__ = [
+    "BlockCompressor",
+    "NullCompressor",
+    "ZlibCompressor",
+    "SnappyCompressor",
+    "snappy_compress",
+    "snappy_decompress",
+]

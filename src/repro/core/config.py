@@ -1,0 +1,84 @@
+"""Configuration for the dbDedup engine — every §3/§5 knob in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class DedupConfig:
+    """Tunable parameters, defaulting to the paper's chosen values.
+
+    Attributes:
+        chunk_size: average Rabin chunk size for feature extraction.
+            Fig. 1 headlines 1 KB and 64 B; 1 KB is the general default.
+        top_k: sketch size K (§3.1.1; paper default 8).
+        max_candidates: per-feature cap on similar records returned by the
+            index before LRU eviction kicks in (§3.1.2).
+        index_buckets / index_slots: cuckoo feature index geometry.
+        anchor_interval: delta-compression anchor sampling interval
+            (§4.2; paper default 64).
+        delta_window: delta-compression checksum window (xDelta's 16).
+        encoding: storage-side encoding scheme — ``'hop'`` (paper default),
+            ``'backward'``, ``'version-jumping'``, or ``'forward'`` (no
+            storage encoding; network-only dedup, like sDedup).
+        hop_distance: hop distance / cluster size H (§5.5 default 16).
+        source_cache_bytes: source record cache budget (§5.4: 32 MB).
+        writeback_cache_bytes: lossy write-back cache budget (§5.4: 8 MB).
+        cache_reward: cache-aware selection reward score (§3.1.3 default 2).
+        min_savings_ratio: a forward delta must be at most this fraction of
+            the raw record, or the record is stored unique — a delta that
+            saves almost nothing is not worth a chain edge.
+        governor_threshold: compression ratio below which the governor
+            disables dedup for a database (§3.4.1: 1.1).
+        governor_window: inserts per governor evaluation (§3.4.1: 100 000;
+            simulations use smaller corpora, so this is configurable).
+        size_filter_percentile: percentile of record size used as the
+            dedup cut-off (§3.4.2: the 40 %-tile).
+        size_filter_interval: inserts between cut-off refreshes (1000).
+        size_filter_enabled: the filter can be disabled for ablations.
+        idle_queue_threshold: disk queue length at or below which the
+            write-back cache flushes (§3.3.2's idleness signal).
+    """
+
+    chunk_size: int = 1024
+    top_k: int = 8
+    max_candidates: int = 8
+    index_buckets: int = 1 << 16
+    index_slots: int = 4
+    anchor_interval: int = 64
+    delta_window: int = 16
+    encoding: str = "hop"
+    hop_distance: int = 16
+    source_cache_bytes: int = 32 * 1024 * 1024
+    writeback_cache_bytes: int = 8 * 1024 * 1024
+    cache_reward: int = 2
+    min_savings_ratio: float = 0.9
+    governor_threshold: float = 1.1
+    governor_window: int = 100_000
+    size_filter_percentile: float = 40.0
+    size_filter_interval: int = 1000
+    size_filter_enabled: bool = True
+    idle_queue_threshold: int = 0
+    murmur_seed: int = 0x5EED
+
+    def __post_init__(self) -> None:
+        if self.chunk_size < 8 or self.chunk_size & (self.chunk_size - 1):
+            raise ValueError(
+                f"chunk_size must be a power of two >= 8, got {self.chunk_size}"
+            )
+        if self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {self.top_k}")
+        if self.encoding not in ("hop", "backward", "version-jumping", "forward"):
+            raise ValueError(f"unknown encoding scheme {self.encoding!r}")
+        if not 0.0 < self.min_savings_ratio <= 1.0:
+            raise ValueError(
+                f"min_savings_ratio must be in (0, 1], got {self.min_savings_ratio}"
+            )
+        if self.hop_distance < 2:
+            raise ValueError(f"hop_distance must be >= 2, got {self.hop_distance}")
+        if not 0.0 <= self.size_filter_percentile < 100.0:
+            raise ValueError(
+                f"size_filter_percentile must be in [0, 100), got "
+                f"{self.size_filter_percentile}"
+            )

@@ -1,0 +1,339 @@
+"""The dbDedup encoding engine (§3.1 workflow, §3.2 encodings, §4.1 flow).
+
+For each inserted record the engine runs the four-step pipeline —
+feature extraction → index lookup → source selection → delta compression —
+and returns an :class:`EncodeResult` describing
+
+* what to ship to replicas (the forward-encoded oplog payload), and
+* which older records to re-encode on disk (backward/hop write-backs),
+
+leaving the actual storage mutations to the database, which schedules them
+through the lossy write-back cache. The engine only touches storage
+through the narrow :class:`RecordProvider` protocol, so it is equally
+testable against a dict as against the full simulated DBMS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.cache.writeback import WriteBackEntry
+from repro.chunking.cdc import ContentDefinedChunker
+from repro.core.config import DedupConfig
+from repro.core.governor import DedupGovernor
+from repro.core.planner import CpuMeter, WritebackPlanner
+from repro.core.selector import SourceSelector
+from repro.core.size_filter import AdaptiveSizeFilter
+from repro.core.stats import DedupStats
+from repro.delta.instructions import serialize
+from repro.index.cuckoo import CuckooFeatureIndex
+from repro.sim.costs import CostModel
+from repro.sketch.features import SketchExtractor
+
+
+class RecordProvider(Protocol):
+    """What the engine needs from the database it serves."""
+
+    def fetch_content(self, record_id: str) -> bytes | None:
+        """Raw (decoded) content of a record, or None if unavailable.
+
+        Implementations charge whatever I/O this costs; the engine calls
+        it only on source-cache misses.
+        """
+        ...
+
+    def stored_size(self, record_id: str) -> int:
+        """Bytes the record currently occupies on disk (0 if unknown)."""
+        ...
+
+
+@dataclass(frozen=True)
+class EncodeResult:
+    """Everything the database needs to finish one insert.
+
+    Attributes:
+        record_id / database / raw_size: identity of the new record.
+        deduped: True if a source was selected and the delta paid off.
+        source_id: the selected source record (None when unique).
+        forward_payload: serialized forward delta for the oplog; None for
+            unique records (the oplog then carries the raw content).
+        oplog_size: bytes this record contributes to replication traffic.
+        writebacks: backward/hop re-encodings to schedule via the lossy
+            write-back cache.
+        ideal_stored_delta: net change in post-dedup storage bytes if every
+            write-back is applied (new raw record minus planned savings).
+        overlapped: the source was not its chain's tail (Fig. 5).
+        source_was_cached: source content came from the source record cache.
+        cpu_seconds: simulated CPU time the encode consumed.
+    """
+
+    record_id: str
+    database: str
+    raw_size: int
+    deduped: bool
+    source_id: str | None = None
+    forward_payload: bytes | None = None
+    oplog_size: int = 0
+    writebacks: tuple[WriteBackEntry, ...] = ()
+    ideal_stored_delta: int = 0
+    overlapped: bool = False
+    source_was_cached: bool = False
+    cpu_seconds: float = 0.0
+
+
+class DedupEngine:
+    """Primary-side deduplication engine."""
+
+    def __init__(
+        self,
+        config: DedupConfig | None = None,
+        costs: CostModel | None = None,
+    ) -> None:
+        self.config = config if config is not None else DedupConfig()
+        self.costs = costs if costs is not None else CostModel()
+        chunker = ContentDefinedChunker(avg_size=self.config.chunk_size)
+        self.extractor = SketchExtractor(
+            chunker=chunker, top_k=self.config.top_k, seed=self.config.murmur_seed
+        )
+        self.planner = WritebackPlanner(self.config)
+        self.selector = SourceSelector(
+            self.planner.source_cache, self.config.cache_reward
+        )
+        self.governor = DedupGovernor(
+            threshold=self.config.governor_threshold,
+            window=self.config.governor_window,
+        )
+        self.size_filter = AdaptiveSizeFilter(
+            cut_percentile=self.config.size_filter_percentile,
+            refresh_interval=self.config.size_filter_interval,
+            enabled=self.config.size_filter_enabled,
+        )
+        self.stats = DedupStats()
+        #: Per-logical-database statistics (savings samples only kept
+        #: globally, to bound memory).
+        self.database_stats: dict[str, DedupStats] = {}
+        self._indexes: dict[str, CuckooFeatureIndex] = {}
+        self._insert_seq: dict[str, int] = {}
+
+    # -- convenience views -----------------------------------------------------
+
+    @property
+    def source_cache(self):
+        """The planner's source record cache (shared with the selector)."""
+        return self.planner.source_cache
+
+    @property
+    def chains(self):
+        """The planner's chain registry."""
+        return self.planner.chains
+
+    @property
+    def index_memory_bytes(self) -> int:
+        """Total feature-index memory across database partitions."""
+        return sum(index.memory_bytes for index in self._indexes.values())
+
+    def stats_for(self, database: str) -> DedupStats:
+        """Per-database statistics (created on first use)."""
+        stats = self.database_stats.get(database)
+        if stats is None:
+            stats = DedupStats(keep_saving_samples=False)
+            self.database_stats[database] = stats
+        return stats
+
+    def describe(self) -> str:
+        """Operator-facing summary: one line per database."""
+        from repro.bench.report import render_table
+
+        rows = []
+        for database in sorted(self.database_stats):
+            stats = self.database_stats[database]
+            rows.append(
+                (
+                    database,
+                    stats.records_seen,
+                    stats.dedup_hit_ratio,
+                    stats.network_compression_ratio,
+                    "on" if self.governor.is_enabled(database) else "OFF",
+                    self.size_filter.threshold(database),
+                )
+            )
+        return render_table(
+            "dbDedup engine status",
+            ["database", "records", "hit ratio", "net ratio", "governor",
+             "size cut-off"],
+            rows,
+        )
+
+    def index_for(self, database: str) -> CuckooFeatureIndex:
+        """The database's feature-index partition (created on demand)."""
+        index = self._indexes.get(database)
+        if index is None:
+            index = CuckooFeatureIndex(
+                num_buckets=self.config.index_buckets,
+                slots_per_bucket=self.config.index_slots,
+                max_candidates=self.config.max_candidates,
+            )
+            self._indexes[database] = index
+        return index
+
+    def rebuild_from(self, db, order: list[str] | None = None) -> int:
+        """Repopulate engine state from an existing database (restart path).
+
+        A freshly restored node (snapshot or oplog replay) has records but
+        an empty feature index, source cache and chain bookkeeping — new
+        inserts would find no similar records. This walks the live records
+        (in ``order`` if given, else sorted by record id), re-extracts
+        sketches, and re-registers everything. Returns the number of
+        records indexed.
+
+        Chains are *not* reconstructed (stored base pointers already
+        encode them); future inserts simply start new chains, exactly as
+        if the existing records had been their sources all along.
+        """
+        record_ids = order if order is not None else sorted(db.records)
+        indexed = 0
+        for record_id in record_ids:
+            record = db.records.get(record_id)
+            if record is None or record.deleted:
+                continue
+            content = db.fetch_content(record_id)
+            if content is None:
+                continue
+            sketch = self.extractor.sketch(content)
+            index = self.index_for(record.database)
+            for feature in sketch.features:
+                index.insert(feature, record_id)
+            self._insert_seq[record_id] = len(self._insert_seq)
+            self.source_cache.admit(record_id, content)
+            indexed += 1
+        return indexed
+
+    # -- the workflow ------------------------------------------------------------
+
+    def encode(
+        self,
+        database: str,
+        record_id: str,
+        content: bytes,
+        provider: RecordProvider,
+    ) -> EncodeResult:
+        """Run the dedup workflow for one inserted record."""
+        raw_size = len(content)
+        meter = CpuMeter(self.costs)
+
+        if not self.governor.is_enabled(database):
+            self.stats.records_bypassed += 1
+            self.stats_for(database).records_bypassed += 1
+            return self._unique_result(database, record_id, raw_size, meter)
+        if not self.size_filter.should_dedup(database, raw_size):
+            self.stats.records_filtered += 1
+            self.stats_for(database).records_filtered += 1
+            return self._unique_result(database, record_id, raw_size, meter)
+
+        # Step 1: feature extraction (§3.1.1).
+        meter.charge_chunking(raw_size)
+        sketch = self.extractor.sketch(content)
+
+        # Step 2: index lookup, registering the new record as it goes (§3.1.2).
+        index = self.index_for(database)
+        candidates = [
+            index.lookup_and_insert(feature, record_id) for feature in sketch.features
+        ]
+        self._insert_seq[record_id] = len(self._insert_seq)
+
+        # Step 3: cache-aware source selection (§3.1.3).
+        selected = self.selector.select(
+            candidates, recency_of=lambda rid: self._insert_seq.get(rid, -1)
+        )
+        if selected is None or selected.record_id == record_id:
+            return self._finish_unique(database, record_id, content, meter)
+
+        source_content = self.planner.fetch(selected.record_id, provider)
+        if source_content is None:
+            return self._finish_unique(database, record_id, content, meter)
+
+        # Step 4: delta compression, forward direction first (§3.2.1).
+        meter.charge_delta(len(source_content) + raw_size)
+        forward = self.planner.compressor.compress(source_content, content)
+        forward_payload = serialize(forward)
+        if len(forward_payload) >= raw_size * self.config.min_savings_ratio:
+            # Not enough savings to justify a chain edge.
+            return self._finish_unique(database, record_id, content, meter)
+
+        writebacks, overlapped = self.planner.plan(
+            record_id, selected.record_id, content, source_content, forward,
+            provider, meter,
+        )
+        if overlapped:
+            self.stats.overlapped_encodings += 1
+        self.stats.writebacks_planned += len(writebacks)
+
+        oplog_size = len(forward_payload)
+        planned_savings = sum(entry.space_saving for entry in writebacks)
+        ideal_delta = (
+            raw_size
+            if self.config.encoding == "forward"
+            else raw_size - planned_savings
+        )
+        self.stats.record_insert(raw_size, oplog_size, ideal_delta, deduped=True)
+        self.stats_for(database).record_insert(
+            raw_size, oplog_size, ideal_delta, deduped=True
+        )
+        if selected.was_cached:
+            self.stats.source_cache_hits += 1
+        else:
+            self.stats.source_cache_misses += 1
+        self._observe_governor(database, raw_size, oplog_size)
+        return EncodeResult(
+            record_id=record_id,
+            database=database,
+            raw_size=raw_size,
+            deduped=True,
+            source_id=selected.record_id,
+            forward_payload=forward_payload,
+            oplog_size=oplog_size,
+            writebacks=tuple(writebacks),
+            ideal_stored_delta=ideal_delta,
+            overlapped=overlapped,
+            source_was_cached=selected.was_cached,
+            cpu_seconds=meter.seconds,
+        )
+
+    # -- internals -------------------------------------------------------------
+
+    def _finish_unique(
+        self, database: str, record_id: str, content: bytes, meter: CpuMeter
+    ) -> EncodeResult:
+        """Record went through the pipeline but stores unencoded.
+
+        §3.3.1: "When no similar source is found, dbDedup simply adds the
+        new record to the cache" — it may become tomorrow's source.
+        """
+        self.source_cache.admit(record_id, content)
+        self._observe_governor(database, len(content), len(content))
+        return self._unique_result(database, record_id, len(content), meter)
+
+    def _unique_result(
+        self, database: str, record_id: str, raw_size: int, meter: CpuMeter
+    ) -> EncodeResult:
+        self.stats.record_insert(raw_size, raw_size, raw_size, deduped=False)
+        self.stats_for(database).record_insert(
+            raw_size, raw_size, raw_size, deduped=False
+        )
+        return EncodeResult(
+            record_id=record_id,
+            database=database,
+            raw_size=raw_size,
+            deduped=False,
+            oplog_size=raw_size,
+            ideal_stored_delta=raw_size,
+            cpu_seconds=meter.seconds,
+        )
+
+    def _observe_governor(self, database: str, bytes_in: int, bytes_out: int) -> None:
+        still_enabled = self.governor.observe(database, bytes_in, bytes_out)
+        if not still_enabled and database in self._indexes:
+            # §3.4.1: delete the disabled database's index partition.
+            self._indexes[database].clear()
+            del self._indexes[database]

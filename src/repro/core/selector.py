@@ -1,0 +1,90 @@
+"""Cache-aware source selection (§3.1.3).
+
+The index lookup yields candidate similar records; exactly one becomes the
+delta source. Pure similarity ranking would sometimes pick a record that
+must be fetched from disk while an almost-as-similar one sits in the
+source record cache — so dbDedup scores candidates as
+
+    score = (# features shared with the new record) + reward·[in cache]
+
+and picks the maximum. Fig. 13a sweeps the reward: 0 already benefits from
+the cache passively; 2 (default) cuts the remaining misses by ~40 % with
+no visible ratio loss; large rewards start preferring less-similar sources.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.cache.source_cache import SourceRecordCache
+
+
+@dataclass(frozen=True)
+class SelectedSource:
+    """Outcome of source selection for one new record."""
+
+    record_id: str
+    feature_matches: int
+    was_cached: bool
+    score: int
+
+
+class SourceSelector:
+    """Scores index candidates and picks one source record."""
+
+    def __init__(self, cache: SourceRecordCache, reward: int = 2) -> None:
+        if reward < 0:
+            raise ValueError(f"reward must be >= 0, got {reward}")
+        self.cache = cache
+        self.reward = reward
+
+    def select(
+        self,
+        candidates_per_feature: list[list[str]],
+        recency_of=None,
+    ) -> SelectedSource | None:
+        """Pick the best source from per-feature candidate lists.
+
+        Args:
+            candidates_per_feature: for each of the new record's features,
+                the records the index returned for it. A record appearing
+                under k features has k feature matches.
+            recency_of: optional callable mapping a record id to a
+                monotonically increasing insertion sequence. Ties in score
+                break toward the *newest* candidate — §3.3.1's locality
+                observation ("two records tend to be more similar if they
+                are closer in creation time") made explicit. Small edits
+                often leave the whole top-K sketch unchanged, so whole
+                version chains tie on feature count; without this rule the
+                winner is arbitrary and forks (overlapped encodings)
+                multiply.
+
+        Returns:
+            The winning candidate, or None when there are no candidates.
+        """
+        matches: Counter[str] = Counter()
+        seen_order: dict[str, int] = {}
+        order = 0
+        for feature_candidates in candidates_per_feature:
+            for record_id in feature_candidates:
+                matches[record_id] += 1
+                seen_order[record_id] = order
+                order += 1
+        if not matches:
+            return None
+
+        best: SelectedSource | None = None
+        best_key: tuple[int, int, int] | None = None
+        for record_id, count in matches.items():
+            cached = record_id in self.cache
+            score = count + (self.reward if cached else 0)
+            recency = (
+                recency_of(record_id) if recency_of is not None
+                else seen_order[record_id]
+            )
+            key = (score, int(cached), recency)
+            if best_key is None or key > best_key:
+                best_key = key
+                best = SelectedSource(record_id, count, cached, score)
+        return best

@@ -1,0 +1,78 @@
+"""Deduplication statistics: the numbers every figure is built from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DedupStats:
+    """Counters accumulated by the engine across all databases.
+
+    Compression ratios are reported the paper's way: original size divided
+    by reduced size, so 1.0 means "no compression".
+    """
+
+    records_seen: int = 0
+    records_deduped: int = 0
+    records_unique: int = 0
+    records_filtered: int = 0  # skipped by the size filter
+    records_bypassed: int = 0  # skipped by the governor
+
+    bytes_in: int = 0
+    #: Bytes shipped to replicas (forward-encoded or raw payloads).
+    oplog_bytes_out: int = 0
+    #: Bytes the storage encoding aims to reach (raw tails + backward deltas,
+    #: before any write-back losses).
+    ideal_storage_bytes: int = 0
+
+    overlapped_encodings: int = 0
+    writebacks_planned: int = 0
+
+    source_cache_hits: int = 0
+    source_cache_misses: int = 0
+
+    #: Per-record space saving samples, kept for Fig. 7's weighted CDF:
+    #: (raw record size, bytes saved by dedup on the forward path).
+    saving_samples: list[tuple[int, int]] = field(default_factory=list)
+    keep_saving_samples: bool = True
+
+    def record_insert(
+        self, raw_size: int, oplog_size: int, ideal_stored: int, deduped: bool
+    ) -> None:
+        """Account one processed record."""
+        self.records_seen += 1
+        self.bytes_in += raw_size
+        self.oplog_bytes_out += oplog_size
+        self.ideal_storage_bytes += ideal_stored
+        if deduped:
+            self.records_deduped += 1
+        else:
+            self.records_unique += 1
+        if self.keep_saving_samples:
+            self.saving_samples.append((raw_size, raw_size - oplog_size))
+
+    @property
+    def network_compression_ratio(self) -> float:
+        """Raw bytes over replicated bytes (1.0 when nothing processed)."""
+        return self.bytes_in / self.oplog_bytes_out if self.oplog_bytes_out else 1.0
+
+    @property
+    def ideal_storage_compression_ratio(self) -> float:
+        """Raw bytes over dedup-target storage bytes (ignores WB losses)."""
+        return (
+            self.bytes_in / self.ideal_storage_bytes
+            if self.ideal_storage_bytes
+            else 1.0
+        )
+
+    @property
+    def dedup_hit_ratio(self) -> float:
+        """Fraction of seen records that found a usable source."""
+        return self.records_deduped / self.records_seen if self.records_seen else 0.0
+
+    @property
+    def source_cache_miss_ratio(self) -> float:
+        """Fraction of source retrievals that had to hit the database."""
+        total = self.source_cache_hits + self.source_cache_misses
+        return self.source_cache_misses / total if total else 0.0

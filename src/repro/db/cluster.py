@@ -1,0 +1,344 @@
+"""The evaluated deployment: one client, one primary, one secondary (§5).
+
+:class:`Cluster` wires the nodes, the replication link and the simulated
+clock together and exposes a trace runner that produces the measurements
+the paper's figures are built from: throughput, latency distribution,
+storage footprints at every layer, replicated bytes, and index memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compression.block import make_block_compressor
+from repro.core.config import DedupConfig
+from repro.db.node import PrimaryNode, SecondaryNode
+from repro.db.replication import DEFAULT_BATCH_BYTES, ReplicationLink
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.network import SimNetwork
+from repro.util.stats import percentile
+from repro.workloads.base import Operation
+
+
+@dataclass
+class ClusterConfig:
+    """Deployment configuration — one per bar of Fig. 10/12.
+
+    Attributes:
+        dedup: dbDedup engine parameters.
+        dedup_enabled: False for the "Original"/"Snappy" baselines.
+        block_compression: page compressor name: 'none', 'snappy', 'zlib'.
+        batch_compression: oplog-batch compressor applied before transfer
+            ('none' by default) — the block-level oplog compression §1
+            names as what DBMSs do today; composes with forward encoding.
+        use_writeback_cache: False for the Fig. 13b ablation.
+        oplog_batch_bytes: replication batching threshold.
+        page_size: storage page size.
+    """
+
+    dedup: DedupConfig = field(default_factory=DedupConfig)
+    dedup_enabled: bool = True
+    block_compression: str = "none"
+    batch_compression: str = "none"
+    use_writeback_cache: bool = True
+    oplog_batch_bytes: int = DEFAULT_BATCH_BYTES
+    page_size: int = 32 * 1024
+    num_secondaries: int = 1
+    #: 'primary' (default) or 'secondary' — route client reads to the
+    #: replicas round-robin. Replication is asynchronous, so secondary
+    #: reads can be stale; missing records fall back to the primary.
+    read_preference: str = "primary"
+    #: Use the full slotted-page/buffer-pool engine (repro.storage) instead
+    #: of the accounting page store. Slower, physically faithful.
+    physical_storage: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_secondaries < 1:
+            raise ValueError(
+                f"num_secondaries must be >= 1, got {self.num_secondaries}"
+            )
+        if self.read_preference not in ("primary", "secondary"):
+            raise ValueError(
+                f"read_preference must be 'primary' or 'secondary', got "
+                f"{self.read_preference!r}"
+            )
+
+
+@dataclass
+class RunResult:
+    """Measurements from one trace execution."""
+
+    operations: int
+    inserts: int
+    reads: int
+    duration_s: float
+    latencies_s: list[float]
+    logical_bytes: int
+    stored_bytes: int
+    physical_bytes: int
+    network_bytes: int
+    index_memory_bytes: int
+    throughput_timeline: list[tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def throughput_ops(self) -> float:
+        """Client operations per simulated second."""
+        return self.operations / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def storage_compression_ratio(self) -> float:
+        """Raw bytes over post-dedup (pre-block-compression) bytes."""
+        return self.logical_bytes / self.stored_bytes if self.stored_bytes else 1.0
+
+    @property
+    def physical_compression_ratio(self) -> float:
+        """Raw bytes over fully compressed storage bytes."""
+        return self.logical_bytes / self.physical_bytes if self.physical_bytes else 1.0
+
+    @property
+    def network_compression_ratio(self) -> float:
+        """Raw inserted bytes over replicated bytes."""
+        return self.logical_bytes / self.network_bytes if self.network_bytes else 1.0
+
+    def latency_percentile(self, pct: float) -> float:
+        """Client latency percentile in seconds."""
+        return percentile(self.latencies_s, pct)
+
+    def latency_cdf(self, points: int = 50) -> list[tuple[float, float]]:
+        """Downsampled latency CDF: ``(latency_s, fraction)`` pairs.
+
+        The Fig. 12b curve; ``points`` controls the resolution.
+        """
+        ordered = sorted(self.latencies_s)
+        if not ordered:
+            return []
+        count = len(ordered)
+        step = max(1, count // points)
+        cdf = [
+            (ordered[index], (index + 1) / count)
+            for index in range(step - 1, count, step)
+        ]
+        if cdf[-1][1] < 1.0:
+            cdf.append((ordered[-1], 1.0))
+        return cdf
+
+
+class Cluster:
+    """One-primary / one-secondary deployment driven by a client trace."""
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        costs: CostModel | None = None,
+    ) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.costs = costs if costs is not None else CostModel()
+        self.clock = SimClock()
+        compressor_name = self.config.block_compression
+        self.primary = PrimaryNode(
+            clock=self.clock,
+            costs=self.costs,
+            config=self.config.dedup,
+            dedup_enabled=self.config.dedup_enabled,
+            block_compressor=make_block_compressor(compressor_name),
+            inline_block_compression=compressor_name != "none",
+            use_writeback_cache=self.config.use_writeback_cache,
+            page_size=self.config.page_size,
+            physical_storage=self.config.physical_storage,
+        )
+        self.secondaries = [
+            SecondaryNode(
+                clock=self.clock,
+                costs=self.costs,
+                config=self.config.dedup,
+                dedup_enabled=self.config.dedup_enabled,
+                block_compressor=make_block_compressor(compressor_name),
+                page_size=self.config.page_size,
+                physical_storage=self.config.physical_storage,
+            )
+            for _ in range(self.config.num_secondaries)
+        ]
+        self.network = SimNetwork(self.clock, self.costs)
+        batch_compressor = (
+            make_block_compressor(self.config.batch_compression)
+            if self.config.batch_compression != "none"
+            else None
+        )
+        self.links = [
+            ReplicationLink(
+                self.primary,
+                secondary,
+                self.network,
+                self.config.oplog_batch_bytes,
+                batch_compressor=batch_compressor,
+            )
+            for secondary in self.secondaries
+        ]
+        self.inserts = 0
+        self.reads = 0
+        self.secondary_reads = 0
+        self.stale_read_fallbacks = 0
+        self._read_cursor = 0
+
+    @property
+    def secondary(self) -> SecondaryNode:
+        """The first secondary (the evaluated topology has exactly one)."""
+        return self.secondaries[0]
+
+    @property
+    def link(self) -> ReplicationLink:
+        """The first replication link."""
+        return self.links[0]
+
+    def execute(self, op: Operation) -> float:
+        """Run one client operation; returns its latency and advances time."""
+        if op.kind == "idle":
+            return self._idle(op.idle_seconds)
+        if op.kind == "insert":
+            latency = self.primary.insert(op.database, op.record_id, op.content)
+            self.inserts += 1
+        elif op.kind == "read":
+            _, latency = self.read(op.database, op.record_id)
+            self.reads += 1
+        elif op.kind == "update":
+            latency = self.primary.update(op.database, op.record_id, op.content)
+        elif op.kind == "delete":
+            latency = self.primary.delete(op.database, op.record_id)
+        else:
+            raise ValueError(f"unknown operation kind {op.kind!r}")
+        self.clock.advance(latency)
+        for link in self.links:
+            link.maybe_sync()
+        return latency
+
+    def read(self, database: str, record_id: str) -> tuple[bytes | None, float]:
+        """Client read honoring the configured read preference.
+
+        With ``read_preference='secondary'`` reads rotate across replicas;
+        a record the asynchronous replication has not delivered yet falls
+        back to the primary (counted in ``stale_read_fallbacks``), plus one
+        network round trip each way.
+        """
+        if self.config.read_preference == "primary":
+            return self.primary.read(database, record_id)
+        secondary = self.secondaries[self._read_cursor % len(self.secondaries)]
+        self._read_cursor += 1
+        self.secondary_reads += 1
+        latency = self.costs.network_time(256)  # request hop
+        if record_id in secondary.db.records and not secondary.db.records[
+            record_id
+        ].deleted:
+            content, disk_latency = secondary.db.read(database, record_id)
+            return content, latency + disk_latency + self.costs.network_time(
+                len(content) if content else 64
+            )
+        # Stale replica (or record deleted there): primary serves it.
+        self.stale_read_fallbacks += 1
+        content, primary_latency = self.primary.read(database, record_id)
+        return content, latency + primary_latency + self.costs.network_time(
+            len(content) if content else 64
+        )
+
+    def _idle(self, seconds: float) -> float:
+        """Advance quiet time in slices so background work can drain."""
+        remaining = seconds
+        step = max(seconds / 20.0, 1e-6)
+        while remaining > 0:
+            self.clock.advance(min(step, remaining))
+            remaining -= step
+            self.primary.on_idle()
+        return 0.0
+
+    def run(
+        self,
+        operations,
+        timeline_bucket_s: float | None = None,
+    ) -> RunResult:
+        """Execute a trace (closed loop) and collect measurements.
+
+        Args:
+            operations: iterable of :class:`Operation`.
+            timeline_bucket_s: if set, also record an ops/sec timeline at
+                this bucket width (used by Fig. 13b).
+        """
+        latencies: list[float] = []
+        count = 0
+        buckets: dict[int, int] = {}
+        start = self.clock.now
+        for op in operations:
+            latency = self.execute(op)
+            if op.kind != "idle":
+                latencies.append(latency)
+                count += 1
+                if timeline_bucket_s:
+                    bucket = int((self.clock.now - start) / timeline_bucket_s)
+                    buckets[bucket] = buckets.get(bucket, 0) + 1
+        self.finalize()
+        duration = self.clock.now - start
+        if timeline_bucket_s and buckets:
+            last_bucket = max(buckets)
+            timeline = [
+                (bucket * timeline_bucket_s,
+                 buckets.get(bucket, 0) / timeline_bucket_s)
+                for bucket in range(last_bucket + 1)
+            ]
+        else:
+            timeline = []
+        return RunResult(
+            operations=count,
+            inserts=self.inserts,
+            reads=self.reads,
+            duration_s=duration,
+            latencies_s=latencies,
+            logical_bytes=self.primary.db.logical_raw_bytes,
+            stored_bytes=self.primary.db.stored_bytes,
+            physical_bytes=self.primary.db.physical_bytes(),
+            network_bytes=self.network.bytes_sent,
+            index_memory_bytes=(
+                self.primary.engine.index_memory_bytes if self.primary.engine else 0
+            ),
+            throughput_timeline=timeline,
+        )
+
+    def checkpoint(self, path) -> int:
+        """Snapshot the primary and truncate oplog history every replica
+        has consumed; returns the entries discarded."""
+        return self.primary.checkpoint(
+            path, replica_cursors=[link.cursor for link in self.links]
+        )
+
+    def finalize(self) -> None:
+        """Ship the oplog tail and drain write-back caches on every node."""
+        for link in self.links:
+            link.sync()
+        self.primary.db.drain_writebacks()
+        for secondary in self.secondaries:
+            secondary.db.drain_writebacks()
+
+    def replicas_converged(self) -> bool:
+        """True when every replica holds identical live record contents."""
+        primary_ids = {
+            record_id
+            for record_id, record in self.primary.db.records.items()
+            if not record.deleted
+        }
+        for secondary in self.secondaries:
+            secondary_ids = {
+                record_id
+                for record_id, record in secondary.db.records.items()
+                if not record.deleted
+            }
+            if primary_ids != secondary_ids:
+                return False
+            for record_id in primary_ids:
+                record = self.primary.db.records[record_id]
+                primary_content, _ = self.primary.db.read(
+                    record.database, record_id
+                )
+                secondary_content, _ = secondary.db.read(
+                    record.database, record_id
+                )
+                if primary_content != secondary_content:
+                    return False
+        return True

@@ -1,0 +1,27 @@
+"""Database error types."""
+
+from __future__ import annotations
+
+
+class DatabaseError(Exception):
+    """Base class for database-layer errors."""
+
+
+class RecordNotFound(DatabaseError):
+    """Operation referenced a record id that does not exist."""
+
+    def __init__(self, record_id: str) -> None:
+        super().__init__(f"record {record_id!r} not found")
+        self.record_id = record_id
+
+
+class RecordExists(DatabaseError):
+    """Insert attempted with an id that is already live."""
+
+    def __init__(self, record_id: str) -> None:
+        super().__init__(f"record {record_id!r} already exists")
+        self.record_id = record_id
+
+
+class CorruptChain(DatabaseError):
+    """A decode walk failed: dangling base pointer or cycle."""

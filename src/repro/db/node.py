@@ -1,0 +1,250 @@
+"""Primary and secondary nodes (§4.1, Fig. 8).
+
+The primary serves client writes: records land raw in storage and in the
+oplog; the dedup encoder runs *off the critical path* (charged as
+background CPU, not client latency), replacing oplog payloads with forward
+deltas and queueing backward write-backs. The secondary replays shipped
+oplog batches through the re-encoder so both replicas converge.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DedupConfig
+from repro.core.engine import DedupEngine
+from repro.core.reencoder import SecondaryReencoder
+from repro.compression.block import BlockCompressor
+from repro.db.database import Database
+from repro.db.oplog import Oplog, OplogEntry
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.disk import SimDisk
+
+
+def _physical_store(page_size: int, block_compressor, disk: SimDisk):
+    """Build the slotted-page engine variant of the page store."""
+    from repro.storage.heapfile import HeapFileStore
+
+    return HeapFileStore(
+        page_size=page_size, compressor=block_compressor, disk=disk
+    )
+
+
+class PrimaryNode:
+    """Write-serving node with the dbDedup encoder attached."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        costs: CostModel | None = None,
+        config: DedupConfig | None = None,
+        dedup_enabled: bool = True,
+        block_compressor: BlockCompressor | None = None,
+        inline_block_compression: bool = False,
+        use_writeback_cache: bool = True,
+        page_size: int = 32 * 1024,
+        physical_storage: bool = False,
+    ) -> None:
+        self.clock = clock
+        self.costs = costs if costs is not None else CostModel()
+        self.config = config if config is not None else DedupConfig()
+        self.dedup_enabled = dedup_enabled
+        self.inline_block_compression = inline_block_compression
+        self.use_writeback_cache = use_writeback_cache
+        self.engine = (
+            DedupEngine(self.config, self.costs) if dedup_enabled else None
+        )
+        disk = SimDisk(clock, self.costs)
+        self.db = Database(
+            clock=clock,
+            disk=disk,
+            page_size=page_size,
+            block_compressor=block_compressor,
+            writeback_capacity=self.config.writeback_cache_bytes,
+            record_cache=self.engine.source_cache if self.engine else None,
+            idle_queue_threshold=self.config.idle_queue_threshold,
+            page_store=_physical_store(page_size, block_compressor, disk)
+            if physical_storage
+            else None,
+        )
+        self.oplog = Oplog()
+        self.background_cpu_seconds = 0.0
+
+    # -- client operations (return the latency the client observes) ----------
+
+    def insert(self, database: str, record_id: str, content: bytes) -> float:
+        """Insert a record; dedup encode happens off the critical path."""
+        latency = self.costs.request_overhead_s
+        if self.inline_block_compression:
+            # Inline page compression (the Snappy configuration) costs CPU
+            # on the write path, unlike dbDedup's background encode.
+            latency += len(content) * self.costs.cpu_compress_byte_s
+        latency += self.db.insert(database, record_id, content)
+
+        if self.engine is None:
+            self.oplog.append(
+                self.clock.now, "insert", database, record_id, payload=content
+            )
+            return latency
+
+        result = self.engine.encode(database, record_id, content, provider=self.db)
+        self.background_cpu_seconds += result.cpu_seconds
+        if result.deduped:
+            self.oplog.append(
+                self.clock.now,
+                "insert",
+                database,
+                record_id,
+                payload=result.forward_payload,
+                base_id=result.source_id,
+                encoded=True,
+            )
+            if self.use_writeback_cache:
+                self.db.schedule_writebacks(result.writebacks)
+            else:
+                # Ablation for Fig. 13b: write deltas back immediately; the
+                # extra queued writes delay subsequent foreground requests.
+                for entry in result.writebacks:
+                    self.db.apply_writeback(entry)
+        else:
+            self.oplog.append(
+                self.clock.now, "insert", database, record_id, payload=content
+            )
+        self.db.flush_writebacks_if_idle(max_flushes=4)
+        return latency
+
+    def read(self, database: str, record_id: str) -> tuple[bytes | None, float]:
+        """Client read, decoding if the record is delta-encoded."""
+        content, disk_latency = self.db.read(database, record_id)
+        return content, self.costs.request_overhead_s + disk_latency
+
+    def update(self, database: str, record_id: str, content: bytes) -> float:
+        """Replace a record's content."""
+        latency = self.costs.request_overhead_s + self.db.update(record_id, content)
+        self.oplog.append(
+            self.clock.now, "update", database, record_id, payload=content
+        )
+        return latency
+
+    def delete(self, database: str, record_id: str) -> float:
+        """Delete a record."""
+        latency = self.costs.request_overhead_s + self.db.delete(record_id)
+        self.oplog.append(self.clock.now, "delete", database, record_id)
+        return latency
+
+    def on_idle(self) -> int:
+        """Drain background work while the client is quiet (Fig. 13b)."""
+        return self.db.flush_writebacks_if_idle()
+
+    def checkpoint(self, path, replica_cursors: list[int] | None = None) -> int:
+        """Durability checkpoint: snapshot the store, truncate the oplog.
+
+        Writes a snapshot file and discards oplog entries every consumer
+        has seen — the minimum of the per-replica cursors (if given) and
+        the built-in sync cursor. Recovery is then snapshot + replay of
+        the retained tail. Returns the number of oplog entries discarded.
+        """
+        from repro.db.snapshot import save_snapshot
+
+        save_snapshot(self.db, path)
+        if replica_cursors:
+            safe = min(replica_cursors)
+        else:
+            safe = self.oplog.synced_seq
+        return self.oplog.truncate_before(safe)
+
+    def compact_storage(self, max_records: int | None = None):
+        """Run a background compaction pass (extension, see
+        :mod:`repro.core.maintenance`): re-encode orphaned raw records
+        against the best similar record the index still knows.
+
+        Returns the :class:`~repro.core.maintenance.CompactionReport`, or
+        None when dedup is disabled on this node.
+        """
+        if self.engine is None:
+            return None
+        from repro.core.maintenance import BackgroundCompactor
+
+        report = BackgroundCompactor(self.engine, self.db).compact(max_records)
+        self.db.flush_writebacks_if_idle()
+        return report
+
+
+class SecondaryNode:
+    """Replica that replays oplog batches through the re-encoder."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        costs: CostModel | None = None,
+        config: DedupConfig | None = None,
+        dedup_enabled: bool = True,
+        block_compressor: BlockCompressor | None = None,
+        page_size: int = 32 * 1024,
+        physical_storage: bool = False,
+    ) -> None:
+        self.clock = clock
+        self.costs = costs if costs is not None else CostModel()
+        self.config = config if config is not None else DedupConfig()
+        self.reencoder = (
+            SecondaryReencoder(self.config, self.costs) if dedup_enabled else None
+        )
+        disk = SimDisk(clock, self.costs)
+        self.db = Database(
+            clock=clock,
+            disk=disk,
+            page_size=page_size,
+            block_compressor=block_compressor,
+            writeback_capacity=self.config.writeback_cache_bytes,
+            record_cache=(
+                self.reencoder.planner.source_cache if self.reencoder else None
+            ),
+            idle_queue_threshold=self.config.idle_queue_threshold,
+            page_store=_physical_store(page_size, block_compressor, disk)
+            if physical_storage
+            else None,
+        )
+        self.oplog = Oplog()
+        self.background_cpu_seconds = 0.0
+        self.decode_fallbacks = 0
+
+    def apply_batch(self, entries: list[OplogEntry], primary: PrimaryNode) -> None:
+        """Replay one replication batch (§4.1 secondary-side flow)."""
+        for entry in entries:
+            self.oplog.append(
+                entry.timestamp,
+                entry.op,
+                entry.database,
+                entry.record_id,
+                payload=entry.payload,
+                base_id=entry.base_id,
+                encoded=entry.encoded,
+            )
+            if entry.op == "insert":
+                self._apply_insert(entry, primary)
+            elif entry.op == "update":
+                self.db.update(entry.record_id, entry.payload)
+            elif entry.op == "delete":
+                self.db.delete(entry.record_id)
+        self.db.flush_writebacks_if_idle()
+
+    def _apply_insert(self, entry: OplogEntry, primary: PrimaryNode) -> None:
+        if not entry.encoded or self.reencoder is None:
+            self.db.insert(entry.database, entry.record_id, entry.payload)
+            if self.reencoder is not None:
+                self.reencoder.apply_raw(entry.record_id, entry.payload)
+            return
+        outcome = self.reencoder.apply_encoded(
+            entry.record_id, entry.base_id, entry.payload, provider=self.db
+        )
+        if outcome is None:
+            # §4.1 footnote 4: base missing locally — ask the primary for
+            # the raw record instead of decoding.
+            self.decode_fallbacks += 1
+            content, _ = primary.db.read(entry.database, entry.record_id)
+            if content is None:
+                return
+            self.db.insert(entry.database, entry.record_id, content)
+            return
+        self.background_cpu_seconds += outcome.cpu_seconds
+        self.db.insert(entry.database, entry.record_id, outcome.content)
+        self.db.schedule_writebacks(outcome.writebacks)

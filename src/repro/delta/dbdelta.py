@@ -1,0 +1,140 @@
+"""dbDedup's anchor-sampled delta compression (§4.2, Algorithm 1, Fig. 15).
+
+The observation behind the optimization: classic xDelta spends most of its
+time building and probing the source block index. dbDedup instead samples
+*anchors* — offsets whose window checksum's low bits match a fixed
+pattern — and only indexes source anchors and probes target anchors. The
+``anchor_interval`` (expected spacing between anchors) is the tunable
+ratio/throughput knob evaluated in Fig. 15: interval 16 ≈ xDelta quality,
+interval 64 ≈ 80 % faster at ~7 % ratio loss on the paper's testbed.
+
+Because anchors are content-defined the *same* data selects the same
+anchors in source and target, so matches are still found even though only
+a fraction of offsets are examined; bidirectional byte-wise extension then
+recovers the full duplicate region around each anchor hit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.delta._matching import as_array, backward_match_len, forward_match_len
+from repro.delta.instructions import CopyInst, Delta, InsertInst, coalesce
+from repro.hashing.adler import rolling_adler32
+
+#: Paper default window width (inherited from xDelta).
+DEFAULT_WINDOW = 16
+
+#: Paper default anchor interval: "We use 64 as the default value, providing
+#: a reasonable balance between compression ratio and throughput."
+DEFAULT_ANCHOR_INTERVAL = 64
+
+#: Cap on source offsets remembered per checksum, to bound worst-case work
+#: on pathological self-similar inputs.
+MAX_OFFSETS_PER_CHECKSUM = 4
+
+
+class DeltaCompressor:
+    """Configurable anchor-sampled delta encoder.
+
+    Args:
+        anchor_interval: expected anchor spacing; must be a power of two
+            (anchor test masks ``log2(interval)`` low checksum bits). An
+            interval equal to the window width degenerates to probing nearly
+            every offset, approximating classic xDelta (Fig. 15 leftmost
+            point).
+        window: checksum window width in bytes.
+    """
+
+    def __init__(
+        self,
+        anchor_interval: int = DEFAULT_ANCHOR_INTERVAL,
+        window: int = DEFAULT_WINDOW,
+    ) -> None:
+        if anchor_interval < 1 or anchor_interval & (anchor_interval - 1):
+            raise ValueError(
+                f"anchor_interval must be a power of two, got {anchor_interval}"
+            )
+        if window < 4:
+            raise ValueError(f"window must be >= 4, got {window}")
+        self.anchor_interval = anchor_interval
+        self.window = window
+        self._mask = np.uint32(anchor_interval - 1)
+        self._magic = np.uint32(anchor_interval - 1)
+
+    def _anchors(self, checksums: np.ndarray) -> np.ndarray:
+        """Offsets whose checksum low bits match the anchor pattern."""
+        if self.anchor_interval == 1:
+            return np.arange(len(checksums))
+        return np.nonzero((checksums & self._mask) == self._magic)[0]
+
+    def compress(self, src: bytes, tgt: bytes) -> Delta:
+        """Delta that rebuilds ``tgt`` from ``src`` (Algorithm 1).
+
+        Always correct: if no anchors match (e.g. unrelated inputs), the
+        result degenerates to a single INSERT of the whole target.
+        """
+        if not tgt:
+            return []
+        if len(src) < self.window or len(tgt) < self.window:
+            return [InsertInst(tgt)]
+
+        src_arr = as_array(src)
+        tgt_arr = as_array(tgt)
+        src_checksums = rolling_adler32(src, self.window)
+        tgt_checksums = rolling_adler32(tgt, self.window)
+
+        # Step 1 (Algorithm 1 lines 8-14): index source anchors.
+        index: dict[int, list[int]] = {}
+        for offset in self._anchors(src_checksums).tolist():
+            bucket = index.setdefault(int(src_checksums[offset]), [])
+            if len(bucket) < MAX_OFFSETS_PER_CHECKSUM:
+                bucket.append(offset)
+
+        # Step 2 (lines 15-31): probe only target anchors, extend matches.
+        insts: Delta = []
+        emitted = 0
+        tgt_anchors = self._anchors(tgt_checksums).tolist()
+        cursor = 0
+        while cursor < len(tgt_anchors):
+            j = tgt_anchors[cursor]
+            if j < emitted:
+                cursor += 1
+                continue
+            candidates = index.get(int(tgt_checksums[j]))
+            if not candidates:
+                cursor += 1
+                continue
+            best = self._best_match(src_arr, tgt_arr, candidates, j, emitted)
+            if best is None:
+                cursor += 1
+                continue
+            s_off, t_off, length = best
+            if emitted < t_off:
+                insts.append(InsertInst(tgt[emitted:t_off]))
+            insts.append(CopyInst(s_off, length))
+            emitted = t_off + length
+            cursor += 1
+        if emitted < len(tgt):
+            insts.append(InsertInst(tgt[emitted:]))
+        return coalesce(insts, base=src)
+
+    def _best_match(
+        self,
+        src_arr: np.ndarray,
+        tgt_arr: np.ndarray,
+        candidates: list[int],
+        j: int,
+        emitted: int,
+    ) -> tuple[int, int, int] | None:
+        """Longest verified match across candidate source offsets, or None."""
+        best: tuple[int, int, int] | None = None
+        for s in candidates:
+            length = forward_match_len(src_arr, tgt_arr, s, j)
+            if length < self.window:
+                continue  # checksum collision
+            back = backward_match_len(src_arr, tgt_arr, s, j, 0, emitted)
+            total = length + back
+            if best is None or total > best[2]:
+                best = (s - back, j - back, total)
+        return best

@@ -1,0 +1,29 @@
+"""Delta decompression (§4.2): replay COPY/INSERT instructions over a base."""
+
+from __future__ import annotations
+
+from repro.delta.instructions import CopyInst, Delta, InsertInst
+
+
+def apply_delta(base: bytes, insts: Delta) -> bytes:
+    """Rebuild the target stream from ``base`` and a delta.
+
+    Raises:
+        ValueError: if a COPY references bytes outside ``base`` — the signal
+            that a delta is being applied to the wrong base record.
+    """
+    out = bytearray()
+    limit = len(base)
+    for inst in insts:
+        if isinstance(inst, InsertInst):
+            out += inst.data
+        elif isinstance(inst, CopyInst):
+            end = inst.offset + inst.length
+            if inst.offset < 0 or end > limit:
+                raise ValueError(
+                    f"COPY [{inst.offset}, {end}) outside base of {limit} bytes"
+                )
+            out += base[inst.offset : end]
+        else:
+            raise TypeError(f"not a delta instruction: {inst!r}")
+    return bytes(out)

@@ -1,0 +1,63 @@
+"""Delta re-encoding: forward delta → backward delta (§4.2, Algorithm 2).
+
+Two-way encoding needs both directions of the same record pair: the forward
+delta (old → new) ships to replicas, the backward delta (new → old) lands
+in storage. Running the compressor twice would double the dominant cost —
+checksum and index work — so dbDedup instead *transforms* the forward
+delta:
+
+every forward COPY states a byte-equality ``src[sOff:sOff+len] ==
+tgt[tOff:tOff+len]``; read backwards, the same fact reconstructs that
+source span from the target. Sort the copy segments by source offset, fill
+the source gaps with literal INSERTs, and the backward delta is done — no
+checksums, no index, pure memory-speed bookkeeping.
+
+Subtlety the paper notes: forward COPYs may *overlap* in source space
+(two target regions copied from overlapping source spans). Overlaps are
+trimmed front-wise here, which can shorten copies slightly — the "slightly
+sub-optimal compression rate" §4.2 accepts in exchange for speed.
+"""
+
+from __future__ import annotations
+
+from repro.delta.instructions import CopyInst, Delta, InsertInst, coalesce
+
+
+def delta_reencode(src: bytes, forward: Delta) -> Delta:
+    """Backward delta (base = target) reconstructing ``src``.
+
+    Args:
+        src: the forward delta's source record (the older record).
+        forward: delta produced against ``src`` for some target record.
+
+    Returns:
+        Instructions such that ``apply_delta(tgt, result) == src`` whenever
+        ``apply_delta(src, forward) == tgt``.
+    """
+    # Collect (source offset, target offset, length) for every forward COPY.
+    segments: list[tuple[int, int, int]] = []
+    t_pos = 0
+    for inst in forward:
+        if isinstance(inst, CopyInst):
+            segments.append((inst.offset, t_pos, inst.length))
+        t_pos += len(inst)
+    segments.sort()
+
+    insts: Delta = []
+    s_pos = 0
+    for s_off, t_off, length in segments:
+        if s_off < s_pos:
+            # Overlaps the previous segment in source space: trim the front.
+            trim = s_pos - s_off
+            if trim >= length:
+                continue
+            s_off += trim
+            t_off += trim
+            length -= trim
+        if s_pos < s_off:
+            insts.append(InsertInst(src[s_pos:s_off]))
+        insts.append(CopyInst(t_off, length))
+        s_pos = s_off + length
+    if s_pos < len(src):
+        insts.append(InsertInst(src[s_pos:]))
+    return coalesce(insts, base=None)

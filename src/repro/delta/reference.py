@@ -1,0 +1,45 @@
+"""Reference delta encoder built on ``difflib`` — the quality yardstick.
+
+``difflib.SequenceMatcher`` finds (near-)maximal matching blocks with no
+windowing or sampling tricks, so its COPY coverage approximates the best a
+copy/insert delta can do. It is far too slow for the online path (quadratic
+worst case), which is precisely why it makes a good *reference*: tests and
+benches compare dbDedup's sampled encoder against it to quantify how much
+ratio the anchor optimization actually leaves on the table.
+"""
+
+from __future__ import annotations
+
+from difflib import SequenceMatcher
+
+from repro.delta.instructions import CopyInst, Delta, InsertInst, coalesce
+
+#: Matching blocks shorter than this are cheaper as literals.
+MIN_MATCH = 8
+
+
+def reference_compress(src: bytes, tgt: bytes, min_match: int = MIN_MATCH) -> Delta:
+    """Copy/insert delta via SequenceMatcher's matching blocks.
+
+    Returns a delta such that ``apply_delta(src, result) == tgt``. Not for
+    production use — O(len(src)·len(tgt)) worst case.
+    """
+    if not tgt:
+        return []
+    if not src:
+        return [InsertInst(tgt)]
+    # autojunk=False: the default heuristic drops popular bytes, which is
+    # wrong for binary-ish data.
+    matcher = SequenceMatcher(None, src, tgt, autojunk=False)
+    insts: Delta = []
+    emitted = 0
+    for s_off, t_off, length in matcher.get_matching_blocks():
+        if length < min_match:
+            continue
+        if emitted < t_off:
+            insts.append(InsertInst(tgt[emitted:t_off]))
+        insts.append(CopyInst(s_off, length))
+        emitted = t_off + length
+    if emitted < len(tgt):
+        insts.append(InsertInst(tgt[emitted:]))
+    return coalesce(insts, base=src)

@@ -1,0 +1,32 @@
+"""Encoding-chain management: two-way, backward, hop, version jumping (§3.2).
+
+The *policy* classes decide, whenever a chain gains a record, which older
+records must be (re)encoded against which bases — the write-back plan. The
+:class:`~repro.encoding.chain.ChainRegistry` tracks chain membership so the
+policies can reason in positions while the database reasons in record ids.
+:mod:`repro.encoding.analysis` carries Table 2's closed-form cost model.
+"""
+
+from repro.encoding.chain import ChainRegistry, ReencodeAction
+from repro.encoding.policies import (
+    BackwardEncodingPolicy,
+    EncodingPolicy,
+    HopEncodingPolicy,
+    VersionJumpingPolicy,
+    make_policy,
+)
+from repro.encoding.analysis import EncodingCosts, hop_costs, version_jumping_costs, backward_costs
+
+__all__ = [
+    "ChainRegistry",
+    "ReencodeAction",
+    "EncodingPolicy",
+    "BackwardEncodingPolicy",
+    "HopEncodingPolicy",
+    "VersionJumpingPolicy",
+    "make_policy",
+    "EncodingCosts",
+    "backward_costs",
+    "version_jumping_costs",
+    "hop_costs",
+]

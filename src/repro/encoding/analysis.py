@@ -1,0 +1,117 @@
+"""Closed-form cost model of the encoding schemes — Table 2 of the paper.
+
+For an encoding chain of ``N`` records with hop distance / cluster size
+``H``, base-record size ``Sb`` and delta size ``Sd`` (``Sb >> Sd``):
+
+===================  =====================  ======================  =====================
+Scheme               Storage                Worst-case retrievals   Writebacks
+===================  =====================  ======================  =====================
+Backward             ``Sb + (N-1) Sd``      ``N``                   ``N``
+Version jumping      ``N/H Sb + (N-N/H)Sd`` ``H``                   ``N - N/H``
+Hop encoding         ``Sb + (N-1) Sd``      ``H + log_H N``         ``N + N H/(H-1)^2``
+===================  =====================  ======================  =====================
+
+The paper labels these "general notation for ease of reasoning" — they are
+asymptotic approximations, not exact counts. The functions here return the
+paper's formulas; ``tests/encoding/test_analysis.py`` checks that the exact
+counts measured from :mod:`repro.encoding.policies` track them (same
+ordering, same growth direction), which is precisely the claim Fig. 14
+makes empirically.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class EncodingCosts:
+    """Predicted costs of one scheme on one chain configuration."""
+
+    scheme: str
+    storage_bytes: float
+    worst_case_retrievals: float
+    writebacks: float
+
+
+def backward_costs(n: int, base_size: float, delta_size: float) -> EncodingCosts:
+    """Table 2, row 1: standard backward encoding."""
+    _validate(n, 2, base_size, delta_size)
+    return EncodingCosts(
+        scheme="backward",
+        storage_bytes=base_size + (n - 1) * delta_size,
+        worst_case_retrievals=float(n),
+        writebacks=float(n),
+    )
+
+
+def version_jumping_costs(
+    n: int, hop_distance: int, base_size: float, delta_size: float
+) -> EncodingCosts:
+    """Table 2, row 2: version jumping with cluster size ``H``."""
+    _validate(n, hop_distance, base_size, delta_size)
+    references = n / hop_distance
+    return EncodingCosts(
+        scheme="version-jumping",
+        storage_bytes=references * base_size + (n - references) * delta_size,
+        worst_case_retrievals=float(hop_distance),
+        writebacks=n - references,
+    )
+
+
+def hop_costs(
+    n: int, hop_distance: int, base_size: float, delta_size: float
+) -> EncodingCosts:
+    """Table 2, row 3: hop encoding with hop distance ``H``."""
+    _validate(n, hop_distance, base_size, delta_size)
+    h = hop_distance
+    return EncodingCosts(
+        scheme="hop",
+        storage_bytes=base_size + (n - 1) * delta_size,
+        worst_case_retrievals=h + math.log(n, h),
+        writebacks=n + n * h / (h - 1) ** 2,
+    )
+
+
+def measured_decode_costs(base_pointers: dict[str, str | None]) -> dict[str, int]:
+    """Exact decode cost (number of base retrievals) per record.
+
+    Args:
+        base_pointers: record id → its decode base (None for raw records).
+
+    Returns:
+        For each record, how many records must be fetched to reconstruct
+        it, counting the raw record at the end of the pointer walk but not
+        the record itself.
+
+    Raises:
+        ValueError: if the pointer graph contains a cycle.
+    """
+    costs: dict[str, int] = {}
+
+    def walk(record: str, seen: set[str]) -> int:
+        if record in costs:
+            return costs[record]
+        base = base_pointers[record]
+        if base is None:
+            costs[record] = 0
+            return 0
+        if record in seen:
+            raise ValueError(f"cycle in base pointers at {record!r}")
+        seen.add(record)
+        costs[record] = 1 + walk(base, seen)
+        return costs[record]
+
+    for record in base_pointers:
+        walk(record, set())
+    return costs
+
+
+def _validate(n: int, h: int, base_size: float, delta_size: float) -> None:
+    if n < 1:
+        raise ValueError(f"chain length must be >= 1, got {n}")
+    if h < 2:
+        raise ValueError(f"hop distance must be >= 2, got {h}")
+    if base_size <= 0 or delta_size <= 0:
+        raise ValueError("sizes must be positive")

@@ -1,0 +1,134 @@
+"""Write-back planning policies: backward, hop, version jumping (§3.2).
+
+A policy answers one question: *when a chain grows to position n, which
+older positions must be (re)encoded, and against which base?* The database
+turns the returned :class:`~repro.encoding.chain.ReencodeAction` objects
+into lossy write-back cache entries.
+
+* :class:`BackwardEncodingPolicy` — plain backward encoding: the previous
+  tail is always re-encoded against the new tail. Best ratio, O(N)
+  worst-case decode.
+* :class:`VersionJumpingPolicy` — prior work's fix: every ``H``-th record
+  (the *reference version*) stays raw, bounding decode chains to ``H`` at
+  the cost of storing ``N/H`` full records.
+* :class:`HopEncodingPolicy` — the paper's contribution: hop bases at
+  positions divisible by ``H^level`` are encoded against the base one hop
+  ahead at their level (Fig. 6), so *every* record is stored as a delta yet
+  decode cost stays near version jumping's.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.encoding.chain import ReencodeAction
+
+#: Paper default: "we find that a hop distance of 16 (default) provides a
+#: good trade-off between compression ratio and decoding overhead."
+DEFAULT_HOP_DISTANCE = 16
+
+
+class EncodingPolicy(ABC):
+    """Strategy deciding storage-side re-encodings on chain growth."""
+
+    @abstractmethod
+    def plan_extend(self, records: list[str], new_position: int) -> list[ReencodeAction]:
+        """Actions to apply when ``records[new_position]`` just arrived.
+
+        Args:
+            records: the chain's record ids in write order, already
+                including the new record.
+            new_position: index of the new record (``len(records) - 1``
+                for linear growth).
+        """
+
+    def hop_levels(self, chain_length: int) -> int:
+        """Number of hop levels a chain of this length uses (0 if none)."""
+        return 0
+
+
+class BackwardEncodingPolicy(EncodingPolicy):
+    """Standard backward encoding: previous tail re-encodes against new tail."""
+
+    def plan_extend(self, records: list[str], new_position: int) -> list[ReencodeAction]:
+        if new_position == 0:
+            return []
+        return [ReencodeAction(records[new_position - 1], records[new_position])]
+
+
+class VersionJumpingPolicy(EncodingPolicy):
+    """Version jumping with cluster size ``H`` (§3.2.2, prior work).
+
+    Reference versions — the last record of each ``H``-cluster, i.e.
+    positions ``H-1, 2H-1, ...`` — stay raw; other records backward-encode
+    against their successor.
+    """
+
+    def __init__(self, hop_distance: int = DEFAULT_HOP_DISTANCE) -> None:
+        if hop_distance < 2:
+            raise ValueError(f"hop_distance must be >= 2, got {hop_distance}")
+        self.hop_distance = hop_distance
+
+    def plan_extend(self, records: list[str], new_position: int) -> list[ReencodeAction]:
+        if new_position == 0:
+            return []
+        previous = new_position - 1
+        if (previous + 1) % self.hop_distance == 0:
+            return []  # previous record is a reference version; stays raw
+        return [ReencodeAction(records[previous], records[new_position])]
+
+
+class HopEncodingPolicy(EncodingPolicy):
+    """Hop encoding with hop distance ``H`` (§3.2.2, Fig. 6).
+
+    Every record backward-encodes against its immediate successor as soon
+    as it arrives — so, like plain backward encoding, exactly one record
+    (the tail) is raw and storage is ``Sb + (N-1)·Sd`` (Table 2). The
+    *extra* deltas are the hops: when the chain reaches a position
+    divisible by ``H^l``, the previous level-``l`` hop base (``position -
+    H^l``) is *re*-encoded directly against the new record, shortening its
+    decode path from ``H^l`` adjacent steps to one hop.
+
+    At steady state this reproduces Fig. 6 exactly for H=4, N=17:
+    R0→Δ(16,0), R4→Δ(8,4), R8→Δ(12,8), R3→Δ(4,3), tail R16 raw. The
+    write-back count is ``N`` adjacent encodings plus ``~N/(H-1)`` hop
+    re-encodings, matching Table 2's ``N + N·H/(H-1)^2`` approximation.
+    """
+
+    def __init__(self, hop_distance: int = DEFAULT_HOP_DISTANCE) -> None:
+        if hop_distance < 2:
+            raise ValueError(f"hop_distance must be >= 2, got {hop_distance}")
+        self.hop_distance = hop_distance
+
+    def plan_extend(self, records: list[str], new_position: int) -> list[ReencodeAction]:
+        if new_position == 0:
+            return []
+        actions = [ReencodeAction(records[new_position - 1], records[new_position])]
+        step = self.hop_distance
+        while new_position % step == 0:
+            target = new_position - step
+            if target != new_position - 1:  # avoid re-planning the adjacent pair
+                actions.append(
+                    ReencodeAction(records[target], records[new_position])
+                )
+            step *= self.hop_distance
+        return actions
+
+    def hop_levels(self, chain_length: int) -> int:
+        levels = 0
+        span = self.hop_distance
+        while span < chain_length:
+            levels += 1
+            span *= self.hop_distance
+        return levels
+
+
+def make_policy(name: str, hop_distance: int = DEFAULT_HOP_DISTANCE) -> EncodingPolicy:
+    """Factory: ``'backward'``, ``'hop'``, or ``'version-jumping'``."""
+    if name == "backward":
+        return BackwardEncodingPolicy()
+    if name == "hop":
+        return HopEncodingPolicy(hop_distance)
+    if name in ("version-jumping", "vjump"):
+        return VersionJumpingPolicy(hop_distance)
+    raise ValueError(f"unknown encoding policy {name!r}")

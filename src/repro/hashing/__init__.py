@@ -1,0 +1,25 @@
+"""Hash primitives used by chunking, sketching, and delta compression.
+
+The paper's pipeline needs three different hashes, each chosen for a
+different speed/strength trade-off (§3.1.1, §4.2):
+
+* Rabin fingerprints — rolling hash for content-defined chunk boundaries.
+* MurmurHash3 — cheap, non-cryptographic chunk identity for the similarity
+  sketch (collisions are tolerable because delta compression verifies bytes).
+* Rolling Adler-32 — the block checksum xDelta/dbDelta use to find candidate
+  match offsets between a source and a target byte stream.
+* SHA-1 — collision-resistant chunk identity for the trad-dedup baseline,
+  where a collision would corrupt data.
+"""
+
+from repro.hashing.adler import adler32_block, rolling_adler32
+from repro.hashing.murmur import murmur3_32
+from repro.hashing.rabin import RabinHasher, rolling_rabin
+
+__all__ = [
+    "murmur3_32",
+    "RabinHasher",
+    "rolling_rabin",
+    "adler32_block",
+    "rolling_adler32",
+]

@@ -1,0 +1,58 @@
+"""MurmurHash3 (x86, 32-bit) — the chunk-identity hash of dbDedup.
+
+dbDedup indexes only a sampled subset of chunk hashes and verifies every
+byte during delta compression, so it can afford a weak-but-fast hash
+(§3.1.1): "it can use the MurmurHash algorithm instead of SHA-1 to reduce
+the computation overhead in chunk hash calculation."
+
+This is a faithful pure-Python port of Austin Appleby's reference
+``MurmurHash3_x86_32``; test vectors in ``tests/hashing/test_murmur.py``
+pin it against published digests.
+"""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+_C1 = 0xCC9E2D51
+_C2 = 0x1B873593
+
+
+def _rotl32(value: int, shift: int) -> int:
+    return ((value << shift) | (value >> (32 - shift))) & _MASK32
+
+
+def murmur3_32(data: bytes, seed: int = 0) -> int:
+    """Return the 32-bit MurmurHash3 of ``data`` with the given ``seed``."""
+    length = len(data)
+    h = seed & _MASK32
+    rounded = length - (length & 3)
+
+    for start in range(0, rounded, 4):
+        k = int.from_bytes(data[start : start + 4], "little")
+        k = (k * _C1) & _MASK32
+        k = _rotl32(k, 15)
+        k = (k * _C2) & _MASK32
+        h ^= k
+        h = _rotl32(h, 13)
+        h = (h * 5 + 0xE6546B64) & _MASK32
+
+    k = 0
+    tail = length & 3
+    if tail >= 3:
+        k ^= data[rounded + 2] << 16
+    if tail >= 2:
+        k ^= data[rounded + 1] << 8
+    if tail >= 1:
+        k ^= data[rounded]
+        k = (k * _C1) & _MASK32
+        k = _rotl32(k, 15)
+        k = (k * _C2) & _MASK32
+        h ^= k
+
+    h ^= length
+    h ^= h >> 16
+    h = (h * 0x85EBCA6B) & _MASK32
+    h ^= h >> 13
+    h = (h * 0xC2B2AE35) & _MASK32
+    h ^= h >> 16
+    return h

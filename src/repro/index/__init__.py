@@ -1,0 +1,13 @@
+"""Deduplication indexes.
+
+* :class:`~repro.index.cuckoo.CuckooFeatureIndex` — dbDedup's compact
+  in-memory feature index (2-byte checksum keys, 4-byte record pointers).
+* :class:`~repro.index.exact.ExactChunkIndex` — the full SHA-1 chunk index
+  used by the trad-dedup baseline, whose size is what makes small chunks
+  impractical for exact dedup (Fig. 1/10).
+"""
+
+from repro.index.cuckoo import CuckooFeatureIndex
+from repro.index.exact import ExactChunkIndex
+
+__all__ = ["CuckooFeatureIndex", "ExactChunkIndex"]

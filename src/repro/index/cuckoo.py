@@ -1,0 +1,189 @@
+"""Cuckoo-hash feature index (§3.1.2).
+
+Maps similarity features (sampled chunk hashes) to the records that carry
+them. Each entry is modelled as the paper describes: a 2-byte compact
+checksum of the feature plus a 4-byte pointer to the record — 6 bytes per
+entry, which is the figure the index-memory numbers in Fig. 1/10 report.
+
+Lookup semantics follow §3.1.2:
+
+* two hash functions map a feature to two candidate buckets, each with
+  several slots; lookup scans the buckets, collecting every entry whose
+  checksum matches — one feature can legitimately map to many records;
+* the scan stops early once ``max_candidates`` matches are found, at which
+  point the least-recently-used matching entry is evicted to keep hot
+  records discoverable;
+* insert places the (checksum, record) entry in the first empty slot; when
+  every candidate slot is taken, the least-recently-used entry among the
+  candidate buckets is displaced.
+
+Because the stored key is only a 16-bit checksum, lookups can return false
+positives. That is by design: dbDedup's final delta-compression step
+verifies every byte, so a wrong candidate costs a little work, never
+correctness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.hashing.murmur import murmur3_32
+
+#: Bytes charged per occupied entry: 2-byte checksum + 4-byte pointer.
+ENTRY_BYTES = 6
+
+
+@dataclass
+class _Entry:
+    checksum: int
+    record: Hashable
+    last_used: int
+    bucket: int = -1
+
+
+@dataclass
+class _Bucket:
+    slots: list[_Entry] = field(default_factory=list)
+
+
+class CuckooFeatureIndex:
+    """Fixed-capacity feature → record index with LRU displacement.
+
+    Args:
+        num_buckets: bucket count (rounded up to a power of two).
+        slots_per_bucket: entries per bucket.
+        max_candidates: cap on similar records returned per feature lookup.
+    """
+
+    def __init__(
+        self,
+        num_buckets: int = 1 << 16,
+        slots_per_bucket: int = 4,
+        max_candidates: int = 8,
+    ) -> None:
+        if num_buckets < 1:
+            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+        if slots_per_bucket < 1:
+            raise ValueError(f"slots_per_bucket must be >= 1, got {slots_per_bucket}")
+        if max_candidates < 1:
+            raise ValueError(f"max_candidates must be >= 1, got {max_candidates}")
+        size = 1
+        while size < num_buckets:
+            size <<= 1
+        self._mask = size - 1
+        self._buckets: list[_Bucket] = [_Bucket() for _ in range(size)]
+        self.slots_per_bucket = slots_per_bucket
+        self.max_candidates = max_candidates
+        self._clock = 0
+        self._entry_count = 0
+
+    # -- memory accounting -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._entry_count
+
+    @property
+    def memory_bytes(self) -> int:
+        """Memory charged for occupied entries (6 bytes each, per §3.1.2)."""
+        return self._entry_count * ENTRY_BYTES
+
+    # -- hashing -----------------------------------------------------------
+
+    @staticmethod
+    def _checksum(feature: int) -> int:
+        """Compact 16-bit checksum stored as the entry key."""
+        return murmur3_32(feature.to_bytes(8, "little"), seed=0xC0FFEE) & 0xFFFF
+
+    def _bucket_indexes(self, feature: int) -> tuple[int, int]:
+        raw = feature.to_bytes(8, "little")
+        first = murmur3_32(raw, seed=0x1) & self._mask
+        second = murmur3_32(raw, seed=0x2) & self._mask
+        if second == first:
+            second = (first + 1) & self._mask
+        return first, second
+
+    # -- operations ----------------------------------------------------------
+
+    def lookup_and_insert(self, feature: int, record: Hashable) -> list[Hashable]:
+        """Return records sharing ``feature``, then register ``record`` for it.
+
+        This mirrors the paper's combined flow: every new record both queries
+        the index and becomes discoverable by future records.
+        """
+        matches = self.lookup(feature)
+        self.insert(feature, record)
+        return matches
+
+    def lookup(self, feature: int) -> list[Hashable]:
+        """Records whose entries match ``feature``'s checksum (LRU-refreshed)."""
+        checksum = self._checksum(feature)
+        self._clock += 1
+        matches: list[_Entry] = []
+        for index in self._bucket_indexes(feature):
+            for entry in self._buckets[index].slots:
+                if entry.checksum != checksum:
+                    continue
+                matches.append(entry)
+                if len(matches) >= self.max_candidates:
+                    self._evict_lru(matches)
+                    return [entry.record for entry in matches]
+        for entry in matches:
+            entry.last_used = self._clock
+        return [entry.record for entry in matches]
+
+    def insert(self, feature: int, record: Hashable) -> None:
+        """Register ``record`` under ``feature``, displacing LRU if full."""
+        checksum = self._checksum(feature)
+        self._clock += 1
+        entry = _Entry(checksum, record, self._clock)
+        candidates = self._bucket_indexes(feature)
+        for index in candidates:
+            bucket = self._buckets[index]
+            if len(bucket.slots) < self.slots_per_bucket:
+                entry.bucket = index
+                bucket.slots.append(entry)
+                self._entry_count += 1
+                return
+        # All candidate slots taken: displace the LRU entry among them.
+        victim_index = -1
+        victim_pos = -1
+        victim_used = None
+        for index in candidates:
+            bucket = self._buckets[index]
+            for pos, existing in enumerate(bucket.slots):
+                if victim_used is None or existing.last_used < victim_used:
+                    victim_index = index
+                    victim_pos = pos
+                    victim_used = existing.last_used
+        if victim_index >= 0:
+            entry.bucket = victim_index
+            self._buckets[victim_index].slots[victim_pos] = entry
+
+    def _evict_lru(self, matches: list[_Entry]) -> None:
+        """Drop the least-recently-used entry among ``matches`` (§3.1.2)."""
+        victim = min(matches, key=lambda entry: entry.last_used)
+        bucket = self._buckets[victim.bucket]
+        if victim in bucket.slots:
+            bucket.slots.remove(victim)
+            self._entry_count -= 1
+        matches.remove(victim)
+        self._clock += 1
+        for entry in matches:
+            entry.last_used = self._clock
+
+    def remove_record(self, record: Hashable) -> int:
+        """Remove every entry pointing at ``record``; returns entries removed."""
+        removed = 0
+        for bucket in self._buckets:
+            kept = [entry for entry in bucket.slots if entry.record != record]
+            removed += len(bucket.slots) - len(kept)
+            bucket.slots = kept
+        self._entry_count -= removed
+        return removed
+
+    def clear(self) -> None:
+        """Drop all entries (used when the governor disables a database)."""
+        for bucket in self._buckets:
+            bucket.slots.clear()
+        self._entry_count = 0

@@ -1,0 +1,54 @@
+"""Exact-match chunk index for the trad-dedup baseline (§2.2).
+
+Classic chunk-based dedup keeps one entry per *unique chunk*: a
+collision-resistant SHA-1 digest (a collision here would silently corrupt
+data, so a weak hash is not an option) plus a pointer to the stored chunk.
+That is 24 bytes per unique chunk, and the entry count grows with corpus
+size divided by chunk size — the memory blow-up Fig. 1/10 measure when the
+chunk size drops from 4 KB to 64 B.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+#: Bytes charged per entry: 20-byte SHA-1 digest + 4-byte pointer.
+ENTRY_BYTES = 24
+
+
+class ExactChunkIndex:
+    """Global chunk-hash index: digest → (location, chunk length)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[bytes, tuple[int, int]] = {}
+        self._next_location = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Index memory charged at 24 bytes per unique chunk."""
+        return len(self._entries) * ENTRY_BYTES
+
+    @staticmethod
+    def digest(chunk: bytes) -> bytes:
+        """SHA-1 identity of a chunk."""
+        return hashlib.sha1(chunk).digest()
+
+    def observe(self, chunk: bytes) -> bool:
+        """Record ``chunk``; return True if it was a duplicate.
+
+        New chunks are assigned the next store location and indexed; known
+        chunks leave the index untouched.
+        """
+        key = self.digest(chunk)
+        if key in self._entries:
+            return True
+        self._entries[key] = (self._next_location, len(chunk))
+        self._next_location += len(chunk)
+        return False
+
+    def contains(self, chunk: bytes) -> bool:
+        """True if an identical chunk has been observed."""
+        return self.digest(chunk) in self._entries

@@ -1,0 +1,16 @@
+"""Deterministic discrete-event cost model for the performance experiments.
+
+The paper's Fig. 12/13 measure a real 3-node MongoDB cluster. This package
+substitutes a deterministic simulation: a clock, a disk with a FIFO service
+queue (whose length drives the write-back idleness trigger of §3.3.2), a
+network link, and a CPU cost table calibrated to paper-era hardware. The
+experiments read *relative* effects off this model — dedup on/off, cache
+on/off — which is what the paper's performance claims are about.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.disk import SimDisk
+from repro.sim.network import SimNetwork
+
+__all__ = ["SimClock", "CostModel", "SimDisk", "SimNetwork"]

@@ -1,0 +1,90 @@
+"""Simulated disk with a FIFO service queue.
+
+The queue is the load signal §3.3.2's write-back cache polls: "we use the
+I/O queue length as an indication" of idleness. Requests are served in
+submission order at the cost model's service rate; a foreground request's
+latency is its wait behind the queue plus its own service time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+
+
+@dataclass(frozen=True)
+class DiskRequest:
+    """One queued request: completion timestamp and size, for accounting."""
+
+    kind: str  # "read" | "write"
+    nbytes: int
+    completes_at: float
+
+
+class SimDisk:
+    """FIFO disk: requests serialize behind ``busy_until``.
+
+    Background requests (write-backs) are fire-and-forget: they occupy the
+    queue but nobody waits on them. Foreground requests return the latency
+    the issuing operation must absorb.
+    """
+
+    def __init__(self, clock: SimClock, costs: CostModel | None = None) -> None:
+        self.clock = clock
+        self.costs = costs if costs is not None else CostModel()
+        self._pending: deque[DiskRequest] = deque()
+        self._busy_until = 0.0
+        self.reads = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def _reap(self) -> None:
+        now = self.clock.now
+        while self._pending and self._pending[0].completes_at <= now:
+            self._pending.popleft()
+
+    def queue_length(self) -> int:
+        """Outstanding (unfinished) requests at the current simulated time."""
+        self._reap()
+        return len(self._pending)
+
+    def is_idle(self, max_queue: int = 0) -> bool:
+        """True when at most ``max_queue`` requests are outstanding."""
+        return self.queue_length() <= max_queue
+
+    def submit(self, kind: str, nbytes: int) -> float:
+        """Enqueue a request; returns its latency from now until completion.
+
+        The caller decides whether to absorb the latency (foreground read/
+        write) or ignore it (background write-back).
+        """
+        if kind not in ("read", "write"):
+            raise ValueError(f"unknown disk request kind {kind!r}")
+        if nbytes < 0:
+            raise ValueError(f"negative request size {nbytes}")
+        self._reap()
+        now = self.clock.now
+        start = max(now, self._busy_until)
+        service = self.costs.disk_time(nbytes)
+        completes = start + service
+        self._busy_until = completes
+        self._pending.append(DiskRequest(kind, nbytes, completes))
+        if kind == "read":
+            self.reads += 1
+            self.bytes_read += nbytes
+        else:
+            self.writes += 1
+            self.bytes_written += nbytes
+        return completes - now
+
+    def read(self, nbytes: int) -> float:
+        """Foreground read; returns latency to absorb."""
+        return self.submit("read", nbytes)
+
+    def write(self, nbytes: int) -> float:
+        """Foreground write; returns latency to absorb."""
+        return self.submit("write", nbytes)

@@ -1,0 +1,29 @@
+"""Simulated replication link: byte accounting plus transfer latency.
+
+Fig. 11's network-compression numbers come straight from this component's
+byte counters — the bytes that would have crossed the wire, with and
+without forward-encoded oplog entries.
+"""
+
+from __future__ import annotations
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+
+
+class SimNetwork:
+    """Point-to-point link between primary and secondary."""
+
+    def __init__(self, clock: SimClock, costs: CostModel | None = None) -> None:
+        self.clock = clock
+        self.costs = costs if costs is not None else CostModel()
+        self.messages = 0
+        self.bytes_sent = 0
+
+    def transfer(self, nbytes: int) -> float:
+        """Account one message; returns its simulated transfer time."""
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        self.messages += 1
+        self.bytes_sent += nbytes
+        return self.costs.network_time(nbytes)

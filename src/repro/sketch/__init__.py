@@ -1,0 +1,5 @@
+"""Similarity sketches: top-K consistent sampling of chunk hashes."""
+
+from repro.sketch.features import FeatureSketch, SketchExtractor
+
+__all__ = ["FeatureSketch", "SketchExtractor"]

@@ -1,0 +1,26 @@
+"""Physical storage engine: slotted pages, buffer pool, heap files.
+
+`repro.db.pagestore.PageStore` does page-level *accounting* (enough for
+every compression experiment). This package is the full physical layer
+underneath it for users who want WiredTiger-like mechanics: fixed-size
+slotted pages on a simulated block device, an LRU buffer pool with dirty
+write-back, and a heap file mapping record ids to (page, slot) with
+overflow chains for records larger than a page.
+
+`repro.db.database.Database` accepts a :class:`HeapFileStore` in place of
+the accounting store via its ``page_store`` parameter.
+"""
+
+from repro.storage.bufferpool import BufferPool
+from repro.storage.device import SimBlockDevice
+from repro.storage.heapfile import HeapFile, HeapFileStore
+from repro.storage.page import PageFullError, SlottedPage
+
+__all__ = [
+    "SlottedPage",
+    "PageFullError",
+    "SimBlockDevice",
+    "BufferPool",
+    "HeapFile",
+    "HeapFileStore",
+]

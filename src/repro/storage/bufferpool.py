@@ -1,0 +1,93 @@
+"""Buffer pool: cached slotted pages with LRU eviction and dirty write-back."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.storage.device import SimBlockDevice
+from repro.storage.page import SlottedPage
+
+
+class BufferPool:
+    """Frame cache between the heap file and the block device.
+
+    Pages are fetched through :meth:`get` (reading from the device on a
+    miss), mutated in place, and marked dirty with :meth:`mark_dirty`;
+    eviction and :meth:`flush_all` write dirty frames back. Capacity is a
+    frame count, as in real engines.
+    """
+
+    def __init__(self, device: SimBlockDevice, capacity_frames: int = 64) -> None:
+        if capacity_frames < 1:
+            raise ValueError(
+                f"capacity_frames must be >= 1, got {capacity_frames}"
+            )
+        self.device = device
+        self.capacity_frames = capacity_frames
+        self._frames: OrderedDict[int, SlottedPage] = OrderedDict()
+        self._dirty: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of page fetches served from the pool."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def get(self, page_id: int) -> SlottedPage:
+        """The cached page, fetched from the device on a miss."""
+        page = self._frames.get(page_id)
+        if page is not None:
+            self._frames.move_to_end(page_id)
+            self.hits += 1
+            return page
+        self.misses += 1
+        image, _ = self.device.read_page(page_id)
+        page = SlottedPage(self.device.page_size, image=image)
+        self._admit(page_id, page)
+        return page
+
+    def create(self) -> tuple[int, SlottedPage]:
+        """Allocate a fresh page, resident and dirty."""
+        page_id = self.device.allocate()
+        page = SlottedPage(self.device.page_size)
+        self._admit(page_id, page)
+        self._dirty.add(page_id)
+        return page_id, page
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Record that a resident page's contents changed.
+
+        Raises:
+            KeyError: if the page is not resident (mutating a non-resident
+                page is a caller bug).
+        """
+        if page_id not in self._frames:
+            raise KeyError(f"page {page_id} is not resident")
+        self._dirty.add(page_id)
+
+    def flush_all(self) -> int:
+        """Write every dirty frame back; returns pages written."""
+        written = 0
+        for page_id in sorted(self._dirty):
+            page = self._frames.get(page_id)
+            if page is not None:
+                self.device.write_page(page_id, page.image())
+                written += 1
+        self._dirty.clear()
+        return written
+
+    def _admit(self, page_id: int, page: SlottedPage) -> None:
+        self._frames[page_id] = page
+        self._frames.move_to_end(page_id)
+        while len(self._frames) > self.capacity_frames:
+            victim_id, victim = self._frames.popitem(last=False)
+            if victim_id in self._dirty:
+                self.device.write_page(victim_id, victim.image())
+                self._dirty.discard(victim_id)
+            self.evictions += 1

@@ -1,0 +1,13 @@
+"""Small shared utilities: varint codec, statistics helpers."""
+
+from repro.util.varint import decode_uvarint, encode_uvarint
+from repro.util.stats import RunningStats, cdf_points, percentile, weighted_cdf_points
+
+__all__ = [
+    "encode_uvarint",
+    "decode_uvarint",
+    "RunningStats",
+    "percentile",
+    "cdf_points",
+    "weighted_cdf_points",
+]

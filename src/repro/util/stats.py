@@ -1,0 +1,99 @@
+"""Statistics helpers used by the benchmark harness and caches.
+
+These are deliberately dependency-light (plain Python plus ``math``) so that
+core-library modules can import them without dragging numpy into hot paths
+that do not need it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+
+class RunningStats:
+    """Single-pass mean/variance/min/max accumulator (Welford's algorithm)."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of observations so far (0.0 if empty)."""
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of observations so far."""
+        return self._m2 / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Return the ``pct`` percentile (0–100) with linear interpolation.
+
+    Raises:
+        ValueError: if ``values`` is empty or ``pct`` is outside [0, 100].
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile {pct} outside [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    frac = rank - low
+    return ordered[low] * (1.0 - frac) + ordered[high] * frac
+
+
+def cdf_points(values: Iterable[float]) -> list[tuple[float, float]]:
+    """Return ``(value, cumulative_fraction)`` pairs for an empirical CDF."""
+    ordered = sorted(values)
+    total = len(ordered)
+    if not total:
+        return []
+    return [(value, (rank + 1) / total) for rank, value in enumerate(ordered)]
+
+
+def weighted_cdf_points(
+    values: Iterable[float], weights: Iterable[float]
+) -> list[tuple[float, float]]:
+    """Empirical CDF where each value contributes its weight, not 1.
+
+    Used for Fig. 7: the space-saving CDF weights each record by the bytes of
+    saving it contributed.
+    """
+    pairs = sorted(zip(values, weights))
+    total = sum(weight for _, weight in pairs)
+    if total <= 0:
+        return []
+    points = []
+    cumulative = 0.0
+    for value, weight in pairs:
+        cumulative += weight
+        points.append((value, cumulative / total))
+    return points

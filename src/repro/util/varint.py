@@ -1,0 +1,52 @@
+"""Unsigned LEB128 variable-length integers.
+
+The delta instruction wire format (:mod:`repro.delta.instructions`) and the
+Snappy block format (:mod:`repro.compression.snappy`) both store lengths and
+offsets as varints so that small values — the common case for database
+records — cost a single byte.
+"""
+
+from __future__ import annotations
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as a LEB128 varint.
+
+    Raises:
+        ValueError: if ``value`` is negative.
+    """
+    if value < 0:
+        raise ValueError(f"varint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a LEB128 varint from ``data`` starting at ``offset``.
+
+    Returns:
+        ``(value, next_offset)`` where ``next_offset`` is the index of the
+        first byte after the varint.
+
+    Raises:
+        ValueError: if the buffer ends mid-varint.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7

@@ -1,0 +1,49 @@
+"""Workload generators standing in for the paper's four datasets (§5.1).
+
+Each generator synthesizes a corpus with the *duplication structure* of its
+real counterpart — incremental revisions (Wikipedia), quoted replies
+(Enron), self-edits and copied answers (Stack Exchange), quoted forum posts
+(Message Boards) — plus a read/write trace matching the paper's ratios.
+All generators are fully deterministic given a seed.
+"""
+
+from repro.workloads.base import Operation, Workload
+from repro.workloads.enron import EnronWorkload
+from repro.workloads.messageboards import MessageBoardsWorkload
+from repro.workloads.oltp import OltpWorkload
+from repro.workloads.stackexchange import StackExchangeWorkload
+from repro.workloads.wikipedia import WikipediaWorkload
+
+#: The paper's four evaluation datasets.
+ALL_WORKLOADS = (
+    WikipediaWorkload,
+    EnronWorkload,
+    StackExchangeWorkload,
+    MessageBoardsWorkload,
+)
+
+#: Additional workloads beyond the paper's (negative controls etc.).
+EXTRA_WORKLOADS = (OltpWorkload,)
+
+
+def make_workload(name: str, seed: int = 1, target_bytes: int = 2_000_000) -> Workload:
+    """Factory by dataset name: the paper's four ('wikipedia', 'enron',
+    'stackexchange', 'messageboards') plus 'oltp' (negative control)."""
+    for cls in ALL_WORKLOADS + EXTRA_WORKLOADS:
+        if cls.name == name:
+            return cls(seed=seed, target_bytes=target_bytes)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+__all__ = [
+    "Operation",
+    "Workload",
+    "WikipediaWorkload",
+    "EnronWorkload",
+    "StackExchangeWorkload",
+    "MessageBoardsWorkload",
+    "OltpWorkload",
+    "ALL_WORKLOADS",
+    "EXTRA_WORKLOADS",
+    "make_workload",
+]

@@ -1,0 +1,114 @@
+"""Enron-style email workload: replies and forwards quoting prior mail (§5.1).
+
+Duplication "primarily comes from message forwards and replies that contain
+content of previous messages". Threads are built of an original message and
+a chain of replies, each embedding the quoted previous body under its new
+text, exactly as real clients do.
+
+Trace from §5.1: the sorted corpus is inserted as fast as possible; after
+each insertion the message is read once (aggregate R/W of 1:1 — each user's
+client fetches a message once and caches it locally).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from repro.workloads.base import Operation, Workload
+from repro.workloads.edits import quote
+from repro.workloads.text import TextGenerator
+
+#: Mean number of messages in a thread (geometric).
+MEAN_THREAD_LENGTH = 5.0
+
+#: Fraction of follow-ups that are forwards (full quote, no trim).
+FORWARD_FRACTION = 0.2
+
+
+class EnronWorkload(Workload):
+    """Synthetic email corpus with reply/forward quoting."""
+
+    name = "enron"
+
+    def __init__(
+        self,
+        seed: int = 1,
+        target_bytes: int = 2_000_000,
+        median_body_bytes: int = 900,
+        num_users: int = 150,
+    ) -> None:
+        super().__init__(seed=seed, target_bytes=target_bytes)
+        self.median_body_bytes = median_body_bytes
+        self.num_users = num_users
+
+    def _headers(self, text_gen: TextGenerator, rng: random.Random,
+                 thread: int, position: int) -> str:
+        sender = rng.randrange(self.num_users)
+        receiver = rng.randrange(self.num_users)
+        return (
+            f"from: user{sender}@enron.example\n"
+            f"to: user{receiver}@enron.example\n"
+            f"message-id: <{text_gen.identifier('msg')}@enron.example>\n"
+            f"subject: {'Re: ' * min(position, 3)}thread {thread}\n\n"
+        )
+
+    def _generate_messages(self) -> Iterator[tuple[str, bytes]]:
+        rng = random.Random(self.seed)
+        text_gen = TextGenerator(self.seed + 1)
+        produced = 0
+        thread = 0
+        message_seq = 0
+        # Open threads: (thread id, last body, messages so far).
+        open_threads: list[tuple[int, str, int]] = []
+        while produced < self.target_bytes:
+            extend = open_threads and rng.random() < 1.0 - 1.0 / MEAN_THREAD_LENGTH
+            if extend:
+                slot = rng.randrange(len(open_threads))
+                thread_id, last_body, count = open_threads[slot]
+                new_text = text_gen.document(
+                    text_gen.lognormal_size(self.median_body_bytes, sigma=0.9)
+                )
+                if rng.random() < FORWARD_FRACTION:
+                    body = (
+                        new_text
+                        + "\n\n---------- Forwarded message ----------\n"
+                        + last_body
+                    )
+                else:
+                    body = new_text + "\n\n" + quote(last_body)
+                open_threads[slot] = (thread_id, body, count + 1)
+                position = count + 1
+            else:
+                thread += 1
+                thread_id = thread
+                body = text_gen.document(
+                    text_gen.lognormal_size(self.median_body_bytes, sigma=0.9)
+                )
+                open_threads.append((thread_id, body, 1))
+                if len(open_threads) > 64:
+                    open_threads.pop(0)
+                position = 0
+            content = (
+                self._headers(text_gen, rng, thread_id, position) + body
+            ).encode()
+            produced += len(content)
+            record_id = f"mail/{message_seq}"
+            message_seq += 1
+            yield record_id, content
+
+    def insert_trace(self) -> Iterator[Operation]:
+        for record_id, content in self._generate_messages():
+            yield Operation(
+                kind="insert", database=self.name, record_id=record_id,
+                content=content,
+            )
+
+    def mixed_trace(self) -> Iterator[Operation]:
+        """1:1 R/W — each message is read right after it is written."""
+        for record_id, content in self._generate_messages():
+            yield Operation(
+                kind="insert", database=self.name, record_id=record_id,
+                content=content,
+            )
+            yield Operation(kind="read", database=self.name, record_id=record_id)

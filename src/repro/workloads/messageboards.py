@@ -1,0 +1,120 @@
+"""vBulletin-style message-board workload: quoted forum posts (§5.1).
+
+"Duplication mainly originates from users quoting others' comments."
+Threads accumulate posts; a post quotes zero or more earlier posts of its
+thread. The read trace mimics forum browsing: each insertion triggers a
+number of *thread reads* — requests for all previous posts in the thread —
+derived from the thread's view count divided by its post count.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from repro.workloads.base import Operation, Workload
+from repro.workloads.edits import quote
+from repro.workloads.text import TextGenerator
+
+#: Probability that a post quotes at least one earlier post.
+QUOTE_FRACTION = 0.45
+
+#: Mean posts per thread (geometric).
+MEAN_THREAD_LENGTH = 12.0
+
+#: Scaled-down thread reads per insertion.
+THREAD_READS_PER_INSERT = 2
+
+
+class MessageBoardsWorkload(Workload):
+    """Synthetic threaded forum corpus."""
+
+    name = "messageboards"
+
+    def __init__(
+        self,
+        seed: int = 1,
+        target_bytes: int = 2_000_000,
+        median_post_bytes: int = 500,
+    ) -> None:
+        super().__init__(seed=seed, target_bytes=target_bytes)
+        self.median_post_bytes = median_post_bytes
+
+    def _generate_posts(self) -> Iterator[tuple[int, int, bytes]]:
+        """Yield ``(thread_id, post_index, content)`` in creation order."""
+        rng = random.Random(self.seed)
+        text_gen = TextGenerator(self.seed + 1)
+        produced = 0
+        next_thread = 0
+        # thread id -> list of post bodies
+        threads: dict[int, list[str]] = {}
+        active: list[int] = []
+        while produced < self.target_bytes:
+            extend = active and rng.random() < 1.0 - 1.0 / MEAN_THREAD_LENGTH
+            if extend:
+                thread_id = active[rng.randrange(len(active))]
+            else:
+                thread_id = next_thread
+                next_thread += 1
+                threads[thread_id] = []
+                active.append(thread_id)
+                if len(active) > 48:
+                    retired = active.pop(0)
+                    # Keep bodies for reads, but stop extending the thread.
+                    threads[retired] = threads[retired]
+            posts = threads[thread_id]
+            new_text = text_gen.document(
+                text_gen.lognormal_size(self.median_post_bytes, sigma=1.0)
+            )
+            if posts and rng.random() < QUOTE_FRACTION:
+                quoted = posts[rng.randrange(len(posts))]
+                body = quote(quoted) + "\n\n" + new_text
+            else:
+                body = new_text
+            meta = (
+                f"forum: board_{thread_id % 7}\n"
+                f"thread: {thread_id}\n"
+                f"post: {len(posts)}\n"
+                f"user: {text_gen.identifier('member')}\n\n"
+            )
+            content = (meta + body).encode()
+            produced += len(content)
+            posts.append(body)
+            yield thread_id, len(posts) - 1, content
+
+    @staticmethod
+    def _record_id(thread_id: int, post_index: int) -> str:
+        return f"board/{thread_id}/{post_index}"
+
+    def insert_trace(self) -> Iterator[Operation]:
+        for thread_id, post_index, content in self._generate_posts():
+            yield Operation(
+                kind="insert",
+                database=self.name,
+                record_id=self._record_id(thread_id, post_index),
+                content=content,
+            )
+
+    def mixed_trace(self) -> Iterator[Operation]:
+        """Each insertion is followed by thread reads of all prior posts."""
+        rng = random.Random(self.seed + 2)
+        post_counts: dict[int, int] = {}
+        for thread_id, post_index, content in self._generate_posts():
+            yield Operation(
+                kind="insert",
+                database=self.name,
+                record_id=self._record_id(thread_id, post_index),
+                content=content,
+            )
+            post_counts[thread_id] = post_index + 1
+            for _ in range(THREAD_READS_PER_INSERT):
+                target_thread = rng.choice(list(post_counts))
+                count = post_counts[target_thread]
+                # A "thread read" requests every post in the thread, capped
+                # to keep simulated traces tractable.
+                for index in range(min(count, 8)):
+                    yield Operation(
+                        kind="read",
+                        database=self.name,
+                        record_id=self._record_id(target_thread, index),
+                    )

@@ -1,0 +1,102 @@
+"""OLTP-style workload: the negative control (§2.1).
+
+"Typical examples include most OLTP workloads, where many records fit into
+one database page and most redundancies among fields can be eliminated by
+block-level compression schemes." This generator produces small structured
+records (orders) with per-record unique values and in-place updates —
+little cross-record redundancy for similarity dedup to find, but enough
+field-name repetition that block compression still works.
+
+Its role in the suite is to exercise the §3.4 governor: a cluster fed this
+workload should *disable* dedup for the database and stop paying for it.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from repro.workloads.base import Operation, Workload
+
+_STATUSES = ("pending", "paid", "packed", "shipped", "delivered", "returned")
+
+
+class OltpWorkload(Workload):
+    """Small structured order records with read-modify-write traffic."""
+
+    name = "oltp"
+
+    def __init__(
+        self,
+        seed: int = 1,
+        target_bytes: int = 2_000_000,
+        update_fraction: float = 0.3,
+    ) -> None:
+        super().__init__(seed=seed, target_bytes=target_bytes)
+        if not 0.0 <= update_fraction < 1.0:
+            raise ValueError(
+                f"update_fraction must be in [0, 1), got {update_fraction}"
+            )
+        self.update_fraction = update_fraction
+
+    def _order(self, rng: random.Random, order_id: int, status: str) -> bytes:
+        lines = [
+            f"order_id: {order_id}",
+            f"customer: cust-{rng.randrange(1 << 48):012x}",
+            f"status: {status}",
+            f"total_cents: {rng.randrange(100, 1_000_000)}",
+            f"created_at: 2017-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+        ]
+        for item in range(rng.randint(1, 5)):
+            lines.append(
+                f"item_{item}: sku-{rng.randrange(1 << 32):08x} "
+                f"qty {rng.randint(1, 9)} price {rng.randrange(100, 50_000)}"
+            )
+        return "\n".join(lines).encode()
+
+    def insert_trace(self) -> Iterator[Operation]:
+        rng = random.Random(self.seed)
+        produced = 0
+        order_id = 0
+        while produced < self.target_bytes:
+            content = self._order(rng, order_id, "pending")
+            produced += len(content)
+            yield Operation(
+                kind="insert", database=self.name,
+                record_id=f"order/{order_id}", content=content,
+            )
+            order_id += 1
+
+    def mixed_trace(self) -> Iterator[Operation]:
+        """Inserts, point reads, and status-update rewrites."""
+        rng = random.Random(self.seed + 1)
+        produced = 0
+        order_id = 0
+        live: list[int] = []
+        while produced < self.target_bytes:
+            roll = rng.random()
+            if live and roll < self.update_fraction:
+                target = rng.choice(live)
+                content = self._order(
+                    rng, target, rng.choice(_STATUSES)
+                )
+                yield Operation(
+                    kind="update", database=self.name,
+                    record_id=f"order/{target}", content=content,
+                )
+            elif live and roll < self.update_fraction + 0.3:
+                target = rng.choice(live)
+                yield Operation(
+                    kind="read", database=self.name, record_id=f"order/{target}"
+                )
+            else:
+                content = self._order(rng, order_id, "pending")
+                produced += len(content)
+                yield Operation(
+                    kind="insert", database=self.name,
+                    record_id=f"order/{order_id}", content=content,
+                )
+                live.append(order_id)
+                if len(live) > 4096:
+                    live.pop(0)
+                order_id += 1

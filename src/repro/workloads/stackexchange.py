@@ -1,0 +1,100 @@
+"""Stack Exchange-style workload: post revisions and copied answers (§5.1).
+
+"Most of the duplication in this data set comes from users revising their
+own posts and from copying answers from other discussion threads." Posts
+are inserted in temporal order; a revision is a *new record* containing the
+edited body (application-level versioning again). Reads are view-count
+driven: popular posts are read far more often, with an aggregate R/W ratio
+of 99.9:0.1.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+from repro.workloads.base import Operation, Workload
+from repro.workloads.edits import revise
+from repro.workloads.text import TextGenerator
+
+#: Fraction of inserts that are revisions of an earlier post.
+REVISION_FRACTION = 0.25
+
+#: Fraction of fresh posts that copy an existing answer wholesale.
+COPY_FRACTION = 0.12
+
+#: Scaled-down reads issued per insert (paper ratio 999:1).
+READS_PER_INSERT = 20
+
+
+class StackExchangeWorkload(Workload):
+    """Synthetic Q&A corpus."""
+
+    name = "stackexchange"
+
+    def __init__(
+        self,
+        seed: int = 1,
+        target_bytes: int = 2_000_000,
+        median_post_bytes: int = 1200,
+    ) -> None:
+        super().__init__(seed=seed, target_bytes=target_bytes)
+        self.median_post_bytes = median_post_bytes
+
+    def _generate_posts(self) -> Iterator[tuple[str, bytes]]:
+        rng = random.Random(self.seed)
+        text_gen = TextGenerator(self.seed + 1)
+        produced = 0
+        seq = 0
+        bodies: list[str] = []  # post bodies in insertion order
+        while produced < self.target_bytes:
+            roll = rng.random()
+            if bodies and roll < REVISION_FRACTION:
+                base = bodies[rng.randrange(len(bodies))]
+                body = revise(rng, text_gen, base, num_edits=rng.randint(1, 5))
+            elif bodies and roll < REVISION_FRACTION + COPY_FRACTION:
+                copied = bodies[rng.randrange(len(bodies))]
+                commentary = text_gen.paragraph(200)
+                body = f"{commentary}\n\n(copied from another thread:)\n{copied}"
+            else:
+                body = text_gen.document(
+                    text_gen.lognormal_size(self.median_post_bytes, sigma=1.1)
+                )
+            meta = (
+                f"post: {seq}\n"
+                f"user: {text_gen.identifier('u')}\n"
+                f"tags: {text_gen.word()},{text_gen.word()}\n"
+                f"votes: {rng.randint(-3, 200)}\n\n"
+            )
+            content = (meta + body).encode()
+            produced += len(content)
+            bodies.append(body)
+            if len(bodies) > 2000:
+                bodies.pop(0)
+            record_id = f"post/{seq}"
+            seq += 1
+            yield record_id, content
+
+    def insert_trace(self) -> Iterator[Operation]:
+        for record_id, content in self._generate_posts():
+            yield Operation(
+                kind="insert", database=self.name, record_id=record_id,
+                content=content,
+            )
+
+    def mixed_trace(self) -> Iterator[Operation]:
+        """Inserts with Zipf-weighted view-count reads (99.9:0.1 scaled)."""
+        rng = random.Random(self.seed + 2)
+        inserted: list[str] = []
+        for record_id, content in self._generate_posts():
+            yield Operation(
+                kind="insert", database=self.name, record_id=record_id,
+                content=content,
+            )
+            inserted.append(record_id)
+            for _ in range(READS_PER_INSERT):
+                # Zipf-ish popularity: quadratic bias toward early (popular)
+                # posts, mimicking view-count weighting.
+                rank = int(len(inserted) * rng.random() ** 2)
+                target = inserted[min(rank, len(inserted) - 1)]
+                yield Operation(kind="read", database=self.name, record_id=target)

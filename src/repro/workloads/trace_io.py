@@ -1,0 +1,112 @@
+"""Trace persistence: record an operation stream to a file and replay it.
+
+Reproducible benchmarking across processes/machines needs the *exact*
+operation stream, not just the generator seed (generators evolve; files do
+not). The format is a varint-framed binary log::
+
+    magic "DBTR" | version u8 | entries...
+    entry := op u8 | varint(len) database | varint(len) record_id
+           | varint(len) content            (op codes with payload)
+           | f64 idle_seconds               (idle ops)
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.util.varint import decode_uvarint, encode_uvarint
+from repro.workloads.base import Operation
+
+MAGIC = b"DBTR"
+VERSION = 1
+
+_OPCODES = {"insert": 1, "read": 2, "update": 3, "delete": 4, "idle": 5}
+_NAMES = {code: name for name, code in _OPCODES.items()}
+_HAS_PAYLOAD = {"insert", "update"}
+_F64 = struct.Struct("<d")
+
+
+def _write_str(out: bytearray, text: str) -> None:
+    raw = text.encode()
+    out += encode_uvarint(len(raw))
+    out += raw
+
+
+def _read_bytes(buf: bytes, pos: int) -> tuple[bytes, int]:
+    length, pos = decode_uvarint(buf, pos)
+    if pos + length > len(buf):
+        raise ValueError("truncated trace field")
+    return buf[pos : pos + length], pos + length
+
+
+def dump_trace(operations: Iterable[Operation]) -> bytes:
+    """Serialize an operation stream."""
+    out = bytearray(MAGIC)
+    out.append(VERSION)
+    for op in operations:
+        code = _OPCODES.get(op.kind)
+        if code is None:
+            raise ValueError(f"cannot serialize operation kind {op.kind!r}")
+        out.append(code)
+        _write_str(out, op.database)
+        _write_str(out, op.record_id)
+        if op.kind in _HAS_PAYLOAD:
+            payload = op.content if op.content is not None else b""
+            out += encode_uvarint(len(payload))
+            out += payload
+        elif op.kind == "idle":
+            out += _F64.pack(op.idle_seconds)
+    return bytes(out)
+
+
+def load_trace(blob: bytes) -> Iterator[Operation]:
+    """Deserialize a trace blob back into operations (lazy).
+
+    Raises:
+        ValueError: on bad magic/version or truncation.
+    """
+    if blob[:4] != MAGIC:
+        raise ValueError("not a dbDedup trace (bad magic)")
+    if blob[4] != VERSION:
+        raise ValueError(f"unsupported trace version {blob[4]}")
+    pos = 5
+    end = len(blob)
+    while pos < end:
+        code = blob[pos]
+        pos += 1
+        kind = _NAMES.get(code)
+        if kind is None:
+            raise ValueError(f"unknown trace opcode {code}")
+        database_raw, pos = _read_bytes(blob, pos)
+        record_raw, pos = _read_bytes(blob, pos)
+        content = None
+        idle = 0.0
+        if kind in _HAS_PAYLOAD:
+            payload, pos = _read_bytes(blob, pos)
+            content = payload
+        elif kind == "idle":
+            if pos + _F64.size > end:
+                raise ValueError("truncated idle duration")
+            (idle,) = _F64.unpack_from(blob, pos)
+            pos += _F64.size
+        yield Operation(
+            kind=kind,
+            database=database_raw.decode(),
+            record_id=record_raw.decode(),
+            content=content,
+            idle_seconds=idle,
+        )
+
+
+def save_trace(operations: Iterable[Operation], path: str | Path) -> int:
+    """Write a trace file; returns its size in bytes."""
+    blob = dump_trace(operations)
+    Path(path).write_bytes(blob)
+    return len(blob)
+
+
+def load_trace_file(path: str | Path) -> Iterator[Operation]:
+    """Read a trace file back as an operation stream."""
+    return load_trace(Path(path).read_bytes())

@@ -1,0 +1,46 @@
+"""Corpus profiling."""
+
+import pytest
+
+from repro.analysis.corpus import profile_corpus
+from repro.workloads import make_workload
+from repro.workloads.oltp import OltpWorkload
+
+
+class TestProfileCorpus:
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            profile_corpus([])
+
+    def test_basic_statistics(self):
+        profile = profile_corpus([b"a" * 100, b"b" * 300])
+        assert profile.records == 2
+        assert profile.total_bytes == 400
+        assert profile.mean_record_bytes == 200
+        assert profile.max_record_bytes == 300
+
+    def test_identical_records_are_cross_duplicates(self, document):
+        profile = profile_corpus([document, document])
+        assert profile.cross_record_duplication > 0.45
+
+    def test_repetitive_record_is_intra_duplicate(self):
+        profile = profile_corpus([b"Z" * 50_000])
+        assert profile.intra_record_duplication > 0.8
+        assert profile.cross_record_duplication == 0.0
+
+    def test_wikipedia_has_high_cross_duplication(self):
+        workload = make_workload("wikipedia", seed=5, target_bytes=200_000)
+        contents = [op.content for op in workload.insert_trace()]
+        profile = profile_corpus(contents)
+        assert profile.cross_record_duplication > 0.4
+
+    def test_oltp_has_low_cross_duplication(self):
+        workload = OltpWorkload(seed=5, target_bytes=100_000)
+        contents = [op.content for op in workload.insert_trace()]
+        profile = profile_corpus(contents)
+        assert profile.cross_record_duplication < 0.35
+
+    def test_render_mentions_key_fields(self, document):
+        text = profile_corpus([document]).render()
+        assert "records=1" in text
+        assert "cross-dup" in text

@@ -1,0 +1,20 @@
+"""Full-report generation (tiny scale for the unit suite)."""
+
+from repro.bench.full_report import generate_report, write_report
+
+
+class TestFullReport:
+    def test_report_contains_every_section(self, tmp_path):
+        text = generate_report(target_bytes=120_000)
+        for title in (
+            "Fig. 1", "Table 2", "Fig. 7", "Fig. 10", "Fig. 11",
+            "Fig. 12", "Fig. 13a", "Fig. 13b", "Fig. 14", "Fig. 15",
+            "Ablation", "Scale sensitivity",
+        ):
+            assert title in text
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "out.md"
+        size = write_report(path, target_bytes=120_000)
+        assert path.stat().st_size == size
+        assert path.read_text().startswith("# dbDedup")

@@ -1,0 +1,45 @@
+"""ASCII plotting."""
+
+from repro.bench.plot import ascii_cdf, ascii_plot
+
+
+class TestAsciiPlot:
+    def test_empty_series(self):
+        assert "(no data)" in ascii_plot({"s": []}, title="t")
+
+    def test_contains_title_and_legend(self):
+        text = ascii_plot(
+            {"alpha": [(0, 0), (1, 1)], "beta": [(0, 1), (1, 0)]},
+            title="Two lines",
+        )
+        assert "Two lines" in text
+        assert "alpha" in text
+        assert "beta" in text
+
+    def test_axis_labels(self):
+        text = ascii_plot(
+            {"s": [(0, 0), (10, 5)]}, x_label="seconds", y_label="ops",
+        )
+        assert "seconds" in text
+        assert "ops" in text
+
+    def test_extremes_plotted_at_corners(self):
+        text = ascii_plot({"s": [(0, 0), (1, 1)]}, width=20, height=5)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert rows[0].rstrip().endswith("·")  # max y at top right
+        body = rows[-1].split("|", 1)[1]
+        assert body[0] == "·"  # min y at bottom left
+
+    def test_constant_series_does_not_crash(self):
+        text = ascii_plot({"flat": [(0, 3), (1, 3), (2, 3)]})
+        assert "flat" in text
+
+    def test_single_point(self):
+        text = ascii_plot({"dot": [(5, 5)]})
+        assert "dot" in text
+
+    def test_cdf_wrapper(self):
+        points = [(float(i), i / 10) for i in range(11)]
+        text = ascii_cdf({"latency": points}, title="Latency CDF")
+        assert "Latency CDF" in text
+        assert "frac" in text

@@ -1,0 +1,70 @@
+"""Source record cache: chain-aware replacement (§3.3.1)."""
+
+from repro.cache.source_cache import SourceRecordCache
+
+
+class TestBasics:
+    def test_admit_and_get(self):
+        cache = SourceRecordCache(1024)
+        cache.admit("r1", b"content")
+        assert cache.get("r1") == b"content"
+        assert cache.hits == 1
+
+    def test_miss_ratio(self):
+        cache = SourceRecordCache(1024)
+        cache.get("nope")
+        cache.admit("yes", b"x")
+        cache.get("yes")
+        assert cache.miss_ratio == 0.5
+
+    def test_invalidate(self):
+        cache = SourceRecordCache(1024)
+        cache.admit("r", b"x")
+        cache.invalidate("r")
+        assert "r" not in cache
+
+
+class TestChainAwareReplacement:
+    def test_replace_tail_swaps_entry(self):
+        cache = SourceRecordCache(1024)
+        cache.admit("old-tail", b"old content")
+        cache.replace_tail("old-tail", "new-tail", b"new content")
+        assert "old-tail" not in cache
+        assert cache.peek("new-tail") == b"new content"
+
+    def test_replace_tail_when_old_absent(self):
+        cache = SourceRecordCache(1024)
+        cache.replace_tail("ghost", "new", b"content")
+        assert cache.peek("new") == b"content"
+
+    def test_one_entry_per_chain_under_replacement(self):
+        cache = SourceRecordCache(4096)
+        cache.admit("v0", b"a" * 100)
+        previous = "v0"
+        for version in range(1, 10):
+            name = f"v{version}"
+            cache.replace_tail(previous, name, b"a" * 100)
+            previous = name
+        assert len(cache) == 1
+        assert cache.used_bytes == 100
+
+    def test_keep_hop_base_replaces_previous_level_base(self):
+        cache = SourceRecordCache(4096)
+        cache.admit("hop-0", b"base0")
+        cache.keep_hop_base("hop-16", b"base16", replacing="hop-0")
+        assert "hop-0" not in cache
+        assert cache.peek("hop-16") == b"base16"
+
+    def test_keep_hop_base_without_predecessor(self):
+        cache = SourceRecordCache(4096)
+        cache.keep_hop_base("hop-16", b"base16", replacing=None)
+        assert "hop-16" in cache
+
+
+class TestCapacity:
+    def test_eviction_under_pressure(self):
+        cache = SourceRecordCache(250)
+        for chain in range(5):
+            cache.admit(f"tail-{chain}", b"x" * 100)
+        assert len(cache) == 2
+        assert cache.used_bytes <= 250

@@ -1,0 +1,103 @@
+"""Lossy write-back delta cache (§3.3.2)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache.writeback import LossyWriteBackCache, WriteBackEntry
+
+
+def entry(record_id: str, payload: bytes, saving: int, base: str = "base") -> WriteBackEntry:
+    return WriteBackEntry(record_id=record_id, base_id=base, payload=payload,
+                          space_saving=saving)
+
+
+class TestBasics:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LossyWriteBackCache(0)
+
+    def test_put_and_flush(self):
+        cache = LossyWriteBackCache(1024)
+        cache.put(entry("r1", b"delta", 500))
+        flushed = cache.flush_most_valuable()
+        assert flushed.record_id == "r1"
+        assert cache.flushed == 1
+        assert len(cache) == 0
+
+    def test_flush_empty_returns_none(self):
+        assert LossyWriteBackCache(16).flush_most_valuable() is None
+
+    def test_newer_entry_replaces_same_record(self):
+        cache = LossyWriteBackCache(1024)
+        cache.put(entry("r1", b"old", 100))
+        cache.put(entry("r1", b"new", 200))
+        assert len(cache) == 1
+        assert cache.flush_most_valuable().payload == b"new"
+
+
+class TestPrioritization:
+    def test_flush_order_most_valuable_first(self):
+        cache = LossyWriteBackCache(1024)
+        cache.put(entry("small", b"a", 10))
+        cache.put(entry("big", b"b", 1000))
+        cache.put(entry("mid", b"c", 100))
+        order = [cache.flush_most_valuable().record_id for _ in range(3)]
+        assert order == ["big", "mid", "small"]
+
+    def test_drain_returns_descending_savings(self):
+        cache = LossyWriteBackCache(1024)
+        for index, saving in enumerate([5, 50, 500]):
+            cache.put(entry(f"r{index}", b"x", saving))
+        drained = cache.drain()
+        savings = [e.space_saving for e in drained]
+        assert savings == sorted(savings, reverse=True)
+        assert len(cache) == 0
+
+
+class TestLossiness:
+    def test_capacity_eviction_discards_least_valuable(self):
+        cache = LossyWriteBackCache(10)
+        cache.put(entry("keep", b"12345", 1000))
+        cache.put(entry("drop", b"67890", 1))
+        cache.put(entry("also-keep", b"abcde", 500))
+        assert cache.discarded == 1
+        assert cache.discarded_savings == 1
+        assert "drop" not in cache
+        assert "keep" in cache
+
+    def test_oversized_entry_discarded_immediately(self):
+        cache = LossyWriteBackCache(4)
+        cache.put(entry("huge", b"123456", 777))
+        assert len(cache) == 0
+        assert cache.discarded == 1
+        assert cache.discarded_savings == 777
+
+    def test_invalidate_removes_pending(self):
+        cache = LossyWriteBackCache(1024)
+        cache.put(entry("r1", b"delta", 10))
+        removed = cache.invalidate("r1")
+        assert removed.record_id == "r1"
+        assert "r1" not in cache
+        assert cache.used_bytes == 0
+
+    def test_invalidate_absent(self):
+        assert LossyWriteBackCache(16).invalidate("nothing") is None
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["a", "b", "c", "d", "e", "f", "g", "h"]),
+            st.binary(min_size=1, max_size=6),
+            st.integers(0, 1000),
+        ),
+        max_size=80,
+    )
+)
+def test_property_used_bytes_within_capacity(operations):
+    cache = LossyWriteBackCache(20)
+    for record_id, payload, saving in operations:
+        cache.put(entry(record_id, payload, saving))
+        assert cache.used_bytes <= 20
+        assert len(cache) <= 20

@@ -1,0 +1,100 @@
+"""Content-defined chunking invariants."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chunking.cdc import ContentDefinedChunker
+
+
+def random_bytes(n: int, seed: int = 1) -> bytes:
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(n))
+
+
+class TestValidation:
+    def test_avg_size_power_of_two(self):
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(avg_size=100)
+
+    def test_min_le_avg_le_max(self):
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(avg_size=256, min_size=512)
+        with pytest.raises(ValueError):
+            ContentDefinedChunker(avg_size=256, max_size=128)
+
+
+class TestChunking:
+    def test_empty_input(self):
+        chunker = ContentDefinedChunker(avg_size=256)
+        assert chunker.chunks(b"") == []
+        assert chunker.boundaries(b"") == []
+
+    def test_concatenation_restores_input(self):
+        data = random_bytes(20_000)
+        chunker = ContentDefinedChunker(avg_size=256)
+        assert b"".join(c.data for c in chunker.chunks(data)) == data
+
+    def test_chunk_offsets_consistent(self):
+        data = random_bytes(5000, seed=3)
+        for chunk in ContentDefinedChunker(avg_size=128).chunks(data):
+            assert chunk.data == data[chunk.start : chunk.end]
+            assert len(chunk) == chunk.end - chunk.start
+
+    def test_size_bounds_respected(self):
+        data = random_bytes(50_000, seed=2)
+        chunker = ContentDefinedChunker(avg_size=256)
+        sizes = [len(c) for c in chunker.chunks(data)]
+        assert all(s <= chunker.max_size for s in sizes)
+        # Every chunk except the last respects the minimum.
+        assert all(s >= chunker.min_size for s in sizes[:-1])
+
+    def test_average_size_near_target(self):
+        data = random_bytes(200_000, seed=4)
+        chunker = ContentDefinedChunker(avg_size=256)
+        sizes = [len(c) for c in chunker.chunks(data)]
+        average = sum(sizes) / len(sizes)
+        # CDC with min/max clamps lands near (typically slightly above)
+        # the target on random data.
+        assert 128 < average < 768
+
+    def test_low_entropy_input_hits_max_size(self):
+        # Constant data produces one hash everywhere; the max clamp must
+        # force boundaries.
+        data = b"\x00" * 10_000
+        chunker = ContentDefinedChunker(avg_size=256)
+        sizes = [len(c) for c in chunker.chunks(data)]
+        assert max(sizes) <= chunker.max_size
+        assert b"".join(c.data for c in chunker.chunks(data)) == data
+
+    def test_boundary_shift_invariance(self):
+        # Prepending data only disturbs chunks near the edit: boundaries in
+        # the untouched tail reappear at shifted offsets.
+        data = random_bytes(30_000, seed=5)
+        chunker = ContentDefinedChunker(avg_size=256)
+        original = set(chunker.boundaries(data))
+        prefix = b"PREFIXPREFIX"
+        shifted = set(
+            boundary - len(prefix)
+            for boundary in chunker.boundaries(prefix + data)
+        )
+        tail = {b for b in original if b > 2000}
+        shared = tail & shifted
+        assert len(shared) / len(tail) > 0.8
+
+    def test_deterministic(self):
+        data = random_bytes(10_000, seed=6)
+        chunker = ContentDefinedChunker(avg_size=512)
+        assert chunker.boundaries(data) == chunker.boundaries(data)
+
+    @settings(max_examples=25)
+    @given(st.binary(min_size=0, max_size=5000))
+    def test_property_partition(self, data):
+        chunker = ContentDefinedChunker(avg_size=64)
+        boundaries = chunker.boundaries(data)
+        if data:
+            assert boundaries[-1] == len(data)
+            assert boundaries == sorted(set(boundaries))
+        assert b"".join(c.data for c in chunker.chunks(data)) == data

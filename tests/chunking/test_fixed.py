@@ -1,0 +1,43 @@
+"""Fixed-size chunker behaviour and its boundary-shift weakness."""
+
+import pytest
+
+from repro.chunking.fixed import FixedSizeChunker
+from repro.index.exact import ExactChunkIndex
+
+
+class TestFixedSizeChunker:
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            FixedSizeChunker(0)
+
+    def test_exact_multiple(self):
+        chunks = FixedSizeChunker(4).chunks(b"abcdefgh")
+        assert [c.data for c in chunks] == [b"abcd", b"efgh"]
+
+    def test_trailing_partial_chunk(self):
+        chunks = FixedSizeChunker(4).chunks(b"abcdefghij")
+        assert [len(c) for c in chunks] == [4, 4, 2]
+
+    def test_empty(self):
+        assert FixedSizeChunker(4).chunks(b"") == []
+
+    def test_concatenation(self):
+        data = bytes(range(256)) * 5
+        chunks = FixedSizeChunker(100).chunks(data)
+        assert b"".join(c.data for c in chunks) == data
+
+    def test_boundary_shift_destroys_dedup(self):
+        # The motivating weakness: one inserted byte re-aligns every chunk,
+        # so an exact-match index finds nothing. (CDC does not have this
+        # problem — see test_cdc.test_boundary_shift_invariance.)
+        data = bytes((i * 31) % 256 for i in range(4000))
+        chunker = FixedSizeChunker(64)
+        index = ExactChunkIndex()
+        for chunk in chunker.chunks(data):
+            index.observe(chunk.data)
+        shifted = b"!" + data
+        duplicates = sum(
+            1 for chunk in chunker.chunks(shifted) if index.contains(chunk.data)
+        )
+        assert duplicates <= 1

@@ -1,0 +1,46 @@
+"""Block compressor wrappers and factory."""
+
+import pytest
+
+from repro.compression.block import (
+    BlockCompressor,
+    NullCompressor,
+    ZlibCompressor,
+    make_block_compressor,
+)
+from repro.compression.snappy import SnappyCompressor
+
+
+class TestNull:
+    def test_identity(self):
+        compressor = NullCompressor()
+        assert compressor.compress(b"data") == b"data"
+        assert compressor.decompress(b"data") == b"data"
+
+
+class TestZlib:
+    def test_roundtrip(self, document):
+        compressor = ZlibCompressor()
+        assert compressor.decompress(compressor.compress(document)) == document
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError):
+            ZlibCompressor(level=42)
+
+    def test_compresses_text(self, document):
+        assert len(ZlibCompressor().compress(document)) < len(document)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [("none", NullCompressor), ("snappy", SnappyCompressor), ("zlib", ZlibCompressor)],
+    )
+    def test_known(self, name, cls):
+        compressor = make_block_compressor(name)
+        assert isinstance(compressor, cls)
+        assert isinstance(compressor, BlockCompressor)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            make_block_compressor("lz4")

@@ -1,0 +1,114 @@
+"""Snappy block compressor: format edge cases and round trips."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.snappy import (
+    SnappyCompressor,
+    snappy_compress,
+    snappy_decompress,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "blob",
+        [
+            b"",
+            b"a",
+            b"abc",
+            b"aaaa",
+            b"a" * 1000,  # RLE-style overlapping copies
+            b"ab" * 5000,
+            bytes(range(256)),
+            b"x" * 59 + b"y",  # literal length boundary
+            b"x" * 61,  # literal length > 60 (extension byte)
+            b"q" * 70000,  # literal length needing 3-byte extension
+        ],
+    )
+    def test_known_shapes(self, blob):
+        assert snappy_decompress(snappy_compress(blob)) == blob
+
+    def test_text(self, document):
+        compressed = snappy_compress(document)
+        assert snappy_decompress(compressed) == document
+        assert len(compressed) < len(document)
+
+    def test_random_incompressible(self, rng):
+        blob = bytes(rng.randrange(256) for _ in range(20_000))
+        compressed = snappy_compress(blob)
+        assert snappy_decompress(compressed) == blob
+        # At most tiny expansion on incompressible data.
+        assert len(compressed) < len(blob) * 1.01 + 16
+
+    def test_long_range_match_beyond_2048(self):
+        # Forces the 2-byte-offset copy form.
+        unique = bytes(random.Random(1).randrange(256) for _ in range(5000))
+        blob = unique + b"." * 10 + unique
+        assert snappy_decompress(snappy_compress(blob)) == blob
+
+    def test_match_beyond_64k_offset(self):
+        # Forces the 4-byte-offset copy form.
+        rng = random.Random(2)
+        unique = bytes(rng.randrange(256) for _ in range(1000))
+        filler = bytes(rng.randrange(256) for _ in range(70_000))
+        blob = unique + filler + unique
+        assert snappy_decompress(snappy_compress(blob)) == blob
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(max_size=4096))
+    def test_property_roundtrip(self, blob):
+        assert snappy_decompress(snappy_compress(blob)) == blob
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.text(max_size=3000))
+    def test_property_text_roundtrip(self, text):
+        blob = text.encode()
+        assert snappy_decompress(snappy_compress(blob)) == blob
+
+
+class TestCompressionQuality:
+    def test_repetitive_data_compresses_hard(self):
+        blob = b"the same sentence over and over. " * 300
+        assert len(snappy_compress(blob)) < len(blob) * 0.1
+
+    def test_realistic_text_band(self, text_gen):
+        # Synthetic corpus text should land in Snappy's usual 1.4-3.5x band.
+        blob = text_gen.document(30_000).encode()
+        ratio = len(blob) / len(snappy_compress(blob))
+        assert 1.2 < ratio < 4.0
+
+
+class TestMalformedInput:
+    def test_truncated_preamble(self):
+        with pytest.raises(ValueError):
+            snappy_decompress(b"")
+
+    def test_length_mismatch(self):
+        good = snappy_compress(b"hello world")
+        bad = bytes([good[0] + 1]) + good[1:]
+        with pytest.raises(ValueError):
+            snappy_decompress(bad)
+
+    def test_copy_before_start_rejected(self):
+        # preamble len=4, then a copy-1 with offset beyond output.
+        payload = bytes([4, 0x01 | (0 << 2), 0x10])
+        with pytest.raises(ValueError):
+            snappy_decompress(payload)
+
+    def test_truncated_literal(self):
+        payload = bytes([10, (9 << 2)]) + b"abc"
+        with pytest.raises(ValueError):
+            snappy_decompress(payload)
+
+
+class TestCompressorInterface:
+    def test_name(self):
+        assert SnappyCompressor().name == "snappy"
+
+    def test_object_roundtrip(self, document):
+        compressor = SnappyCompressor()
+        assert compressor.decompress(compressor.compress(document)) == document

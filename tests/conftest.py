@@ -1,0 +1,47 @@
+"""Shared fixtures: realistic record pairs and corpora for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workloads.edits import revise
+from repro.workloads.text import TextGenerator
+
+
+@pytest.fixture(scope="session")
+def text_gen() -> TextGenerator:
+    return TextGenerator(seed=99)
+
+
+@pytest.fixture(scope="session")
+def document(text_gen) -> bytes:
+    """One ~8 KB synthetic document."""
+    return text_gen.document(8000).encode()
+
+
+@pytest.fixture(scope="session")
+def revision_pair(text_gen) -> tuple[bytes, bytes]:
+    """A (source, target) pair shaped like consecutive record versions."""
+    rng = random.Random(42)
+    base = text_gen.document(8000)
+    target = revise(rng, text_gen, base, num_edits=5)
+    return base.encode(), target.encode()
+
+
+@pytest.fixture(scope="session")
+def revision_chain(text_gen) -> list[bytes]:
+    """Twelve consecutive revisions of one document."""
+    rng = random.Random(43)
+    body = text_gen.document(5000)
+    chain = [body.encode()]
+    for _ in range(11):
+        body = revise(rng, text_gen, body, num_edits=3)
+        chain.append(body.encode())
+    return chain
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(7)

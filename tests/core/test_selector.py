@@ -1,0 +1,79 @@
+"""Cache-aware source selection (§3.1.3)."""
+
+import pytest
+
+from repro.cache.source_cache import SourceRecordCache
+from repro.core.selector import SourceSelector
+
+
+@pytest.fixture()
+def cache() -> SourceRecordCache:
+    return SourceRecordCache(1024)
+
+
+@pytest.fixture()
+def selector(cache) -> SourceSelector:
+    return SourceSelector(cache, reward=2)
+
+
+class TestSelection:
+    def test_no_candidates(self, selector):
+        assert selector.select([[], [], []]) is None
+
+    def test_single_candidate(self, selector):
+        selected = selector.select([["r1"]])
+        assert selected.record_id == "r1"
+        assert selected.feature_matches == 1
+        assert not selected.was_cached
+
+    def test_most_feature_matches_wins(self, selector):
+        selected = selector.select([["a", "b"], ["a"], ["a", "c"]])
+        assert selected.record_id == "a"
+        assert selected.feature_matches == 3
+
+    def test_negative_reward_rejected(self, cache):
+        with pytest.raises(ValueError):
+            SourceSelector(cache, reward=-1)
+
+
+class TestCacheAwareness:
+    def test_reward_tips_close_race(self, cache, selector):
+        cache.admit("cached", b"x")
+        # uncached has 3 matches, cached has 2; reward 2 makes cached win.
+        selected = selector.select([["uncached", "cached"], ["uncached", "cached"],
+                                    ["uncached"]])
+        assert selected.record_id == "cached"
+        assert selected.was_cached
+        assert selected.score == 4
+
+    def test_reward_cannot_overcome_large_gap(self, cache, selector):
+        cache.admit("cached", b"x")
+        candidates = [["best"]] * 6 + [["cached"]]
+        selected = selector.select(candidates)
+        assert selected.record_id == "best"
+
+    def test_zero_reward_ignores_cache(self, cache):
+        cache.admit("cached", b"x")
+        selector = SourceSelector(cache, reward=0)
+        selected = selector.select([["other", "cached"], ["other"]])
+        assert selected.record_id == "other"
+
+    def test_cached_wins_exact_tie(self, cache):
+        cache.admit("cached", b"x")
+        selector = SourceSelector(cache, reward=0)
+        selected = selector.select([["plain", "cached"]])
+        assert selected.record_id == "cached"
+
+
+class TestRecencyTieBreak:
+    def test_newest_wins_tie_with_recency_callback(self, selector):
+        sequence = {"old": 1, "new": 9}
+        selected = selector.select(
+            [["old", "new"], ["old", "new"]],
+            recency_of=lambda rid: sequence.get(rid, -1),
+        )
+        assert selected.record_id == "new"
+
+    def test_without_callback_uses_list_order(self, selector):
+        selected = selector.select([["first", "second"]])
+        assert selected.record_id == "second"

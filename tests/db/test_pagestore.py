@@ -1,0 +1,76 @@
+"""Page store: placement, updates, compression accounting."""
+
+import pytest
+
+from repro.compression.block import ZlibCompressor
+from repro.db.pagestore import PageStore
+
+
+class TestPlacement:
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            PageStore(page_size=100)
+
+    def test_records_fill_pages(self):
+        store = PageStore(page_size=1024)
+        for index in range(10):
+            store.place(f"r{index}", b"x" * 400)
+        # 2 records per 1KB page → 5 pages.
+        assert store.page_count == 5
+
+    def test_oversized_record_gets_own_page_run(self):
+        store = PageStore(page_size=1024)
+        store.place("big", b"y" * 5000)
+        store.place("small", b"z" * 100)
+        assert "big" in store
+        assert store.logical_bytes == 5100
+
+    def test_place_twice_updates(self):
+        store = PageStore(page_size=1024)
+        store.place("r", b"aaaa")
+        store.place("r", b"bb")
+        assert store.logical_bytes == 2
+
+
+class TestUpdateRemove:
+    def test_update_changes_logical_size(self):
+        store = PageStore(page_size=1024)
+        store.place("r", b"x" * 100)
+        store.update("r", b"x" * 10)
+        assert store.logical_bytes == 10
+
+    def test_remove_reclaims_space(self):
+        store = PageStore(page_size=1024)
+        store.place("a", b"x" * 100)
+        store.place("b", b"y" * 100)
+        store.remove("a")
+        assert store.logical_bytes == 100
+        assert "a" not in store
+
+    def test_remove_unknown_is_noop(self):
+        PageStore(page_size=1024).remove("ghost")
+
+
+class TestCompression:
+    def test_physical_bytes_with_null_compressor(self):
+        store = PageStore(page_size=1024)
+        store.place("r", b"z" * 500)
+        assert store.physical_bytes() == 500
+
+    def test_physical_bytes_compresses_redundancy(self):
+        store = PageStore(page_size=4096, compressor=ZlibCompressor())
+        store.place("r", b"repetition " * 200)
+        assert store.physical_bytes() < store.logical_bytes / 3
+
+    def test_lazy_recompression_tracks_updates(self):
+        store = PageStore(page_size=4096, compressor=ZlibCompressor())
+        store.place("r", b"A" * 1000)
+        first = store.physical_bytes()
+        store.update("r", bytes(range(256)) * 4)
+        second = store.physical_bytes()
+        assert second != first
+
+    def test_cached_when_clean(self):
+        store = PageStore(page_size=4096, compressor=ZlibCompressor())
+        store.place("r", b"text " * 100)
+        assert store.physical_bytes() == store.physical_bytes()

@@ -1,0 +1,37 @@
+"""Delta decoding: bounds checking and exactness."""
+
+import pytest
+
+from repro.delta.decode import apply_delta
+from repro.delta.instructions import CopyInst, InsertInst
+
+
+class TestApplyDelta:
+    def test_empty_delta(self):
+        assert apply_delta(b"base", []) == b""
+
+    def test_insert_only(self):
+        assert apply_delta(b"", [InsertInst(b"abc")]) == b"abc"
+
+    def test_copy_only(self):
+        assert apply_delta(b"0123456789", [CopyInst(2, 4)]) == b"2345"
+
+    def test_interleaved(self):
+        delta = [InsertInst(b"<"), CopyInst(0, 3), InsertInst(b">")]
+        assert apply_delta(b"ABCDEF", delta) == b"<ABC>"
+
+    def test_copy_past_end_rejected(self):
+        with pytest.raises(ValueError):
+            apply_delta(b"short", [CopyInst(0, 10)])
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ValueError):
+            apply_delta(b"base", [CopyInst(-1, 2)])
+
+    def test_wrong_instruction_type_rejected(self):
+        with pytest.raises(TypeError):
+            apply_delta(b"base", ["garbage"])
+
+    def test_copy_at_exact_boundary(self):
+        assert apply_delta(b"abc", [CopyInst(0, 3)]) == b"abc"
+        assert apply_delta(b"abc", [CopyInst(3, 0)]) == b""

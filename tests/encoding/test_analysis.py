@@ -1,0 +1,75 @@
+"""Table 2 cost model and exact decode-cost measurement."""
+
+import pytest
+
+from repro.encoding.analysis import (
+    backward_costs,
+    hop_costs,
+    measured_decode_costs,
+    version_jumping_costs,
+)
+
+
+class TestFormulas:
+    def test_backward(self):
+        costs = backward_costs(100, 1000.0, 50.0)
+        assert costs.storage_bytes == 1000 + 99 * 50
+        assert costs.worst_case_retrievals == 100
+        assert costs.writebacks == 100
+
+    def test_version_jumping(self):
+        costs = version_jumping_costs(100, 10, 1000.0, 50.0)
+        assert costs.storage_bytes == 10 * 1000 + 90 * 50
+        assert costs.worst_case_retrievals == 10
+        assert costs.writebacks == 90
+
+    def test_hop_storage_equals_backward(self):
+        hop = hop_costs(200, 16, 6000.0, 300.0)
+        backward = backward_costs(200, 6000.0, 300.0)
+        assert hop.storage_bytes == backward.storage_bytes
+
+    def test_hop_retrievals_close_to_version_jumping(self):
+        hop = hop_costs(200, 16, 6000.0, 300.0)
+        vjump = version_jumping_costs(200, 16, 6000.0, 300.0)
+        assert vjump.worst_case_retrievals < hop.worst_case_retrievals
+        assert hop.worst_case_retrievals < vjump.worst_case_retrievals + 5
+
+    def test_hop_writebacks_shrink_with_distance(self):
+        small = hop_costs(200, 4, 6000.0, 300.0)
+        large = hop_costs(200, 32, 6000.0, 300.0)
+        assert large.writebacks < small.writebacks
+
+    def test_version_jumping_storage_penalty(self):
+        # The paper's point: VJ pays Sb per cluster; hop does not.
+        hop = hop_costs(200, 8, 6000.0, 300.0)
+        vjump = version_jumping_costs(200, 8, 6000.0, 300.0)
+        assert vjump.storage_bytes > hop.storage_bytes * 2
+
+    @pytest.mark.parametrize("bad", [0, -3])
+    def test_invalid_chain_length(self, bad):
+        with pytest.raises(ValueError):
+            backward_costs(bad, 10.0, 1.0)
+
+    def test_invalid_hop_distance(self):
+        with pytest.raises(ValueError):
+            hop_costs(10, 1, 10.0, 1.0)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            backward_costs(10, 0.0, 1.0)
+
+
+class TestMeasuredDecodeCosts:
+    def test_linear_chain(self):
+        bases = {"a": "b", "b": "c", "c": None}
+        costs = measured_decode_costs(bases)
+        assert costs == {"a": 2, "b": 1, "c": 0}
+
+    def test_tree_shape(self):
+        bases = {"x": "root", "y": "root", "root": None}
+        costs = measured_decode_costs(bases)
+        assert costs["x"] == costs["y"] == 1
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError):
+            measured_decode_costs({"a": "b", "b": "a"})

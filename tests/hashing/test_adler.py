@@ -1,0 +1,63 @@
+"""Rolling Adler-32: vectorized path vs scalar reference vs zlib."""
+
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.adler import adler32_block, rolling_adler32
+
+
+class TestAdlerBlock:
+    def test_matches_zlib(self):
+        data = b"The quick brown fox"
+        assert adler32_block(data) == zlib.adler32(data)
+
+    def test_subrange(self):
+        data = b"xxxHELLOyyy"
+        assert adler32_block(data, 3, 5) == zlib.adler32(b"HELLO")
+
+    def test_empty_block(self):
+        assert adler32_block(b"", 0, 0) == zlib.adler32(b"")
+
+
+class TestRollingAdler:
+    def test_short_input_empty(self):
+        assert rolling_adler32(b"abc", 16).size == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            rolling_adler32(b"abcdef", 0)
+
+    def test_every_position_matches_scalar(self):
+        data = bytes((i * 7 + 3) % 256 for i in range(200))
+        width = 16
+        checksums = rolling_adler32(data, width)
+        for position in range(len(checksums)):
+            assert int(checksums[position]) == adler32_block(data, position, width)
+
+    def test_matches_zlib_at_positions(self):
+        data = b"abcdefghijklmnopqrstuvwxyz" * 10
+        width = 16
+        checksums = rolling_adler32(data, width)
+        for position in (0, 7, 100, len(checksums) - 1):
+            assert int(checksums[position]) == zlib.adler32(
+                data[position : position + width]
+            )
+
+    @settings(max_examples=30)
+    @given(st.binary(min_size=16, max_size=300), st.integers(4, 16))
+    def test_property_matches_scalar(self, data, width):
+        if len(data) < width:
+            return
+        checksums = rolling_adler32(data, width)
+        step = max(1, len(checksums) // 6)
+        for position in range(0, len(checksums), step):
+            assert int(checksums[position]) == adler32_block(data, position, width)
+
+    def test_identical_windows_equal(self):
+        data = b"REPEATBLOCKxxxxxxxREPEATBLOCK"
+        width = 11
+        checksums = rolling_adler32(data, width)
+        assert checksums[0] == checksums[18]

@@ -1,0 +1,86 @@
+"""Rolling Rabin hash: vectorized path vs streaming reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.rabin import RabinHasher, rolling_rabin
+
+
+class TestRabinHasher:
+    def test_requires_odd_prime(self):
+        with pytest.raises(ValueError):
+            RabinHasher(window=8, prime=2)
+
+    def test_requires_positive_window(self):
+        with pytest.raises(ValueError):
+            RabinHasher(window=0)
+
+    def test_window_slides(self):
+        # Hash of the last `window` bytes only: feeding a prefix then the
+        # window must equal feeding the window alone.
+        window = 4
+        a = RabinHasher(window)
+        for byte in b"junkjunk" + b"abcd":
+            a.update(byte)
+        b = RabinHasher(window)
+        for byte in b"abcd":
+            b.update(byte)
+        assert a.value == b.value
+
+    def test_reset(self):
+        hasher = RabinHasher(4)
+        for byte in b"abcd":
+            hasher.update(byte)
+        first = hasher.value
+        hasher.reset()
+        assert hasher.value == 0
+        for byte in b"abcd":
+            hasher.update(byte)
+        assert hasher.value == first
+
+
+class TestRollingRabin:
+    def test_short_input_empty(self):
+        assert rolling_rabin(b"abc", window=8).size == 0
+
+    def test_output_length(self):
+        hashes = rolling_rabin(b"x" * 100, window=16)
+        assert len(hashes) == 85
+
+    def test_matches_streaming_reference(self):
+        data = bytes(range(256)) * 3
+        window = 48
+        vectorized = rolling_rabin(data, window)
+        streamer = RabinHasher(window)
+        streamed = [streamer.update(byte) for byte in data]
+        for position in range(len(vectorized)):
+            assert int(vectorized[position]) == streamed[position + window - 1]
+
+    def test_identical_windows_hash_equal(self):
+        data = b"ABCDEFGH" + b"zz" + b"ABCDEFGH"
+        hashes = rolling_rabin(data, window=8)
+        assert hashes[0] == hashes[10]
+
+    def test_dtype_is_uint64(self):
+        assert rolling_rabin(b"y" * 32, window=8).dtype == np.uint64
+
+    @settings(max_examples=30)
+    @given(st.binary(min_size=16, max_size=400))
+    def test_property_vectorized_equals_reference(self, data):
+        window = 16
+        vectorized = rolling_rabin(data, window)
+        streamer = RabinHasher(window)
+        streamed = [streamer.update(byte) for byte in data]
+        positions = range(0, len(vectorized), max(1, len(vectorized) // 8))
+        for position in positions:
+            assert int(vectorized[position]) == streamed[position + window - 1]
+
+    def test_content_defined_shift_invariance(self):
+        # Inserting a prefix must not change window hashes of later content —
+        # the property CDC chunking relies on.
+        tail = b"stable content that must hash identically" * 4
+        plain = rolling_rabin(tail, window=16)
+        shifted = rolling_rabin(b"PREFIX--" + tail, window=16)
+        assert int(plain[0]) == int(shifted[8])

@@ -1,0 +1,118 @@
+"""Cuckoo feature index: lookup/insert semantics, LRU, memory accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.cuckoo import ENTRY_BYTES, CuckooFeatureIndex
+
+
+@pytest.fixture()
+def index() -> CuckooFeatureIndex:
+    return CuckooFeatureIndex(num_buckets=64, slots_per_bucket=4, max_candidates=4)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_buckets": 0},
+            {"slots_per_bucket": 0},
+            {"max_candidates": 0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            CuckooFeatureIndex(**kwargs)
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self, index):
+        assert index.lookup(12345) == []
+        index.insert(12345, "rec-a")
+        assert index.lookup(12345) == ["rec-a"]
+
+    def test_lookup_and_insert_returns_prior_matches(self, index):
+        first = index.lookup_and_insert(777, "rec-a")
+        second = index.lookup_and_insert(777, "rec-b")
+        assert first == []
+        assert second == ["rec-a"]
+        assert set(index.lookup(777)) >= {"rec-a", "rec-b"}
+
+    def test_multiple_records_per_feature(self, index):
+        for name in ("r1", "r2", "r3"):
+            index.insert(42, name)
+        assert set(index.lookup(42)) == {"r1", "r2", "r3"}
+
+    def test_distinct_features_do_not_collide(self, index):
+        index.insert(1, "rec-a")
+        assert index.lookup(2) == [] or "rec-a" not in index.lookup(2)
+
+    def test_max_candidates_caps_results_and_evicts_lru(self, index):
+        for position in range(6):
+            index.insert(99, f"rec-{position}")
+        before = len(index)
+        results = index.lookup(99)
+        # Capped at max_candidates; hitting the cap evicts the LRU match,
+        # so the returned list may be one shorter than the cap.
+        assert 3 <= len(results) <= 4
+        assert len(index) == before - 1  # the LRU entry was evicted
+
+
+class TestEvictionAndMemory:
+    def test_memory_counts_entries(self, index):
+        index.insert(1, "a")
+        index.insert(2, "b")
+        assert index.memory_bytes == 2 * ENTRY_BYTES
+        assert len(index) == 2
+
+    def test_remove_record(self, index):
+        index.insert(5, "gone")
+        index.insert(5, "stays")
+        removed = index.remove_record("gone")
+        assert removed == 1
+        assert index.lookup(5) == ["stays"]
+
+    def test_clear(self, index):
+        for feature in range(20):
+            index.insert(feature, f"r{feature}")
+        index.clear()
+        assert len(index) == 0
+        assert index.memory_bytes == 0
+        assert index.lookup(3) == []
+
+    def test_full_buckets_displace_lru(self):
+        tiny = CuckooFeatureIndex(num_buckets=2, slots_per_bucket=1, max_candidates=4)
+        for feature in range(50):
+            tiny.insert(feature, f"r{feature}")
+        # Bounded: at most buckets * slots entries survive.
+        assert len(tiny) <= 2 * 1
+
+    def test_capacity_is_bounded_under_load(self):
+        index = CuckooFeatureIndex(num_buckets=16, slots_per_bucket=2)
+        for feature in range(10_000):
+            index.insert(feature, f"r{feature}")
+        assert len(index) <= 16 * 2
+        assert index.memory_bytes <= 16 * 2 * ENTRY_BYTES
+
+
+class TestChecksumBehaviour:
+    def test_lookup_tolerates_checksum_false_positives(self, index):
+        # 16-bit checksums may collide; lookups may return extra records but
+        # never crash and never lose the true match.
+        for feature in range(500):
+            index.insert(feature, f"r{feature}")
+        index.insert(100_000, "needle")
+        assert "needle" in index.lookup(100_000)
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(0, 2**32 - 1), min_size=1, max_size=40, unique=True))
+    def test_property_inserted_features_found(self, features):
+        index = CuckooFeatureIndex(num_buckets=256, slots_per_bucket=4)
+        for feature in features:
+            index.insert(feature, f"rec-{feature}")
+        found = sum(
+            1 for feature in features if f"rec-{feature}" in index.lookup(feature)
+        )
+        # All found while capacity is ample.
+        assert found == len(features)

@@ -1,0 +1,60 @@
+"""Exact SHA-1 chunk index (trad-dedup substrate)."""
+
+import hashlib
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.index.exact import ENTRY_BYTES, ExactChunkIndex
+
+
+class TestObserve:
+    def test_first_observation_unique(self):
+        index = ExactChunkIndex()
+        assert index.observe(b"chunk") is False
+
+    def test_second_observation_duplicate(self):
+        index = ExactChunkIndex()
+        index.observe(b"chunk")
+        assert index.observe(b"chunk") is True
+
+    def test_different_chunks_unique(self):
+        index = ExactChunkIndex()
+        index.observe(b"chunk-a")
+        assert index.observe(b"chunk-b") is False
+
+    def test_contains(self):
+        index = ExactChunkIndex()
+        assert not index.contains(b"x")
+        index.observe(b"x")
+        assert index.contains(b"x")
+
+    def test_digest_is_sha1(self):
+        assert ExactChunkIndex.digest(b"data") == hashlib.sha1(b"data").digest()
+
+
+class TestMemoryAccounting:
+    def test_entry_cost(self):
+        index = ExactChunkIndex()
+        index.observe(b"a")
+        index.observe(b"b")
+        index.observe(b"a")  # duplicate: no new entry
+        assert len(index) == 2
+        assert index.memory_bytes == 2 * ENTRY_BYTES
+
+    def test_memory_grows_linearly_with_unique_chunks(self):
+        index = ExactChunkIndex()
+        for i in range(1000):
+            index.observe(i.to_bytes(4, "little"))
+        assert index.memory_bytes == 1000 * ENTRY_BYTES
+
+
+@given(st.lists(st.binary(min_size=1, max_size=32), min_size=1, max_size=100))
+def test_property_duplicate_detection_matches_set(chunks):
+    index = ExactChunkIndex()
+    seen = set()
+    for chunk in chunks:
+        expected = chunk in seen
+        assert index.observe(chunk) == expected
+        seen.add(chunk)
+    assert len(index) == len(seen)

@@ -1,0 +1,27 @@
+"""Simulated clock semantics."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.now == 1.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+    def test_advance_to_forward_only(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.advance_to(5.0)  # no-op, never backwards
+        assert clock.now == 10.0
+        clock.advance_to(12.0)
+        assert clock.now == 12.0

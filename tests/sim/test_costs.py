@@ -1,0 +1,38 @@
+"""Cost model sanity."""
+
+import pytest
+
+from repro.sim.costs import CostModel
+
+
+class TestCostModel:
+    def test_disk_time_has_fixed_and_variable_parts(self):
+        costs = CostModel()
+        empty = costs.disk_time(0)
+        assert empty == pytest.approx(costs.disk_seek_s)
+        megabyte = costs.disk_time(1 << 20)
+        assert megabyte > empty
+
+    def test_network_time_includes_rtt(self):
+        costs = CostModel()
+        assert costs.network_time(0) == pytest.approx(costs.network_rtt_s)
+
+    def test_rates_ordered_sensibly(self):
+        costs = CostModel()
+        # Re-encode is the cheapest CPU op ("memory speed"); delta
+        # compression the most expensive of the per-byte CPU rates.
+        assert costs.cpu_reencode_byte_s < costs.cpu_decode_byte_s
+        assert costs.cpu_delta_byte_s > costs.cpu_chunk_byte_s
+        # A record-sized disk request (seek-dominated) dwarfs the CPU cost
+        # of delta-compressing the same bytes — the premise behind caching
+        # source records instead of recomputing less.
+        assert costs.disk_time(4096) > 4096 * costs.cpu_delta_byte_s * 10
+
+    def test_frozen(self):
+        costs = CostModel()
+        with pytest.raises(AttributeError):
+            costs.disk_seek_s = 0.0
+
+    def test_custom_calibration(self):
+        ssd = CostModel(disk_seek_s=0.0001)
+        assert ssd.disk_time(0) == pytest.approx(0.0001)

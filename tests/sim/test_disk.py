@@ -1,0 +1,73 @@
+"""Simulated FIFO disk and its queue-length idleness signal."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.disk import SimDisk
+
+
+@pytest.fixture()
+def clock() -> SimClock:
+    return SimClock()
+
+
+@pytest.fixture()
+def disk(clock) -> SimDisk:
+    return SimDisk(clock, CostModel())
+
+
+class TestService:
+    def test_single_request_latency_is_service_time(self, disk):
+        latency = disk.read(1024)
+        assert latency == pytest.approx(CostModel().disk_time(1024))
+
+    def test_requests_queue_fifo(self, disk):
+        first = disk.read(1024)
+        second = disk.read(1024)
+        assert second == pytest.approx(2 * first)
+
+    def test_queue_drains_with_time(self, clock, disk):
+        disk.write(1024)
+        disk.write(1024)
+        assert disk.queue_length() == 2
+        clock.advance(1.0)
+        assert disk.queue_length() == 0
+        assert disk.is_idle()
+
+    def test_idleness_threshold(self, clock, disk):
+        disk.write(1024)
+        assert not disk.is_idle(0)
+        assert disk.is_idle(1)
+
+    def test_counters(self, disk):
+        disk.read(100)
+        disk.write(200)
+        disk.write(300)
+        assert disk.reads == 1
+        assert disk.writes == 2
+        assert disk.bytes_read == 100
+        assert disk.bytes_written == 500
+
+    def test_invalid_kind(self, disk):
+        with pytest.raises(ValueError):
+            disk.submit("erase", 10)
+
+    def test_negative_size(self, disk):
+        with pytest.raises(ValueError):
+            disk.read(-1)
+
+    def test_larger_requests_take_longer(self, disk):
+        small = CostModel().disk_time(1024)
+        large = CostModel().disk_time(10 * 1024 * 1024)
+        assert large > small
+
+    def test_background_pressure_delays_foreground(self, clock, disk):
+        # A burst of background writes makes the next foreground read wait —
+        # exactly the Fig. 13b mechanism.
+        baseline = disk.read(1024)
+        clock.advance(10.0)
+        for _ in range(10):
+            disk.submit("write", 64 * 1024)
+        delayed = disk.read(1024)
+        assert delayed > baseline * 5

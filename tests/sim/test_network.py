@@ -1,0 +1,31 @@
+"""Simulated network link accounting."""
+
+import pytest
+
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.sim.network import SimNetwork
+
+
+class TestNetwork:
+    def test_transfer_accounts_bytes(self):
+        network = SimNetwork(SimClock())
+        network.transfer(1000)
+        network.transfer(500)
+        assert network.bytes_sent == 1500
+        assert network.messages == 2
+
+    def test_transfer_time_includes_rtt(self):
+        costs = CostModel()
+        network = SimNetwork(SimClock(), costs)
+        assert network.transfer(0) == pytest.approx(costs.network_rtt_s)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimNetwork(SimClock()).transfer(-5)
+
+    def test_time_proportional_to_size(self):
+        network = SimNetwork(SimClock())
+        small = network.transfer(1024)
+        large = network.transfer(1024 * 1024)
+        assert large > small

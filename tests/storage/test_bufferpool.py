@@ -1,0 +1,103 @@
+"""Buffer pool: caching, eviction, dirty write-back."""
+
+import pytest
+
+from repro.storage.bufferpool import BufferPool
+from repro.storage.device import SimBlockDevice
+
+
+@pytest.fixture()
+def device() -> SimBlockDevice:
+    return SimBlockDevice(page_size=512)
+
+
+@pytest.fixture()
+def pool(device) -> BufferPool:
+    return BufferPool(device, capacity_frames=3)
+
+
+class TestDevice:
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            SimBlockDevice(page_size=8)
+
+    def test_read_unwritten_page(self, device):
+        device.allocate()
+        with pytest.raises(KeyError):
+            device.read_page(0)
+
+    def test_write_requires_allocation(self, device):
+        with pytest.raises(ValueError):
+            device.write_page(5, bytes(512))
+
+    def test_write_size_checked(self, device):
+        page_id = device.allocate()
+        with pytest.raises(ValueError):
+            device.write_page(page_id, b"short")
+
+    def test_roundtrip_charges_disk(self, device):
+        page_id = device.allocate()
+        device.write_page(page_id, bytes(512))
+        image, latency = device.read_page(page_id)
+        assert image == bytes(512)
+        assert latency > 0
+        assert device.disk.reads == 1
+        assert device.disk.writes == 1
+
+
+class TestPool:
+    def test_invalid_capacity(self, device):
+        with pytest.raises(ValueError):
+            BufferPool(device, capacity_frames=0)
+
+    def test_create_is_resident_and_dirty(self, pool):
+        page_id, page = pool.create()
+        page.insert(b"data")
+        pool.mark_dirty(page_id)
+        assert len(pool) == 1
+        assert pool.flush_all() == 1
+
+    def test_get_hits_cache(self, pool):
+        page_id, page = pool.create()
+        page.insert(b"cell")
+        pool.flush_all()
+        assert pool.get(page_id) is page
+        assert pool.hits == 1
+        assert pool.misses == 0
+
+    def test_eviction_writes_dirty_page_back(self, pool):
+        first_id, first = pool.create()
+        first.insert(b"persisted")
+        pool.mark_dirty(first_id)
+        # Fill past capacity: first gets evicted and written back.
+        for _ in range(3):
+            pool.create()
+        assert pool.evictions == 1
+        assert first_id not in [pid for pid in pool._frames]
+        # Re-fetch from the device: contents survived.
+        reloaded = pool.get(first_id)
+        assert reloaded.get(0) == b"persisted"
+        assert pool.misses == 1
+
+    def test_mark_dirty_requires_residency(self, pool):
+        page_id, _ = pool.create()
+        for _ in range(3):
+            pool.create()  # evicts page_id
+        with pytest.raises(KeyError):
+            pool.mark_dirty(page_id)
+
+    def test_hit_ratio(self, pool):
+        page_id, _ = pool.create()
+        pool.get(page_id)
+        pool.get(page_id)
+        assert pool.hit_ratio == 1.0
+
+    def test_lru_order(self, pool):
+        a, _ = pool.create()
+        b, _ = pool.create()
+        c, _ = pool.create()
+        pool.get(a)  # refresh a; b is now LRU
+        pool.create()  # evicts b
+        resident = list(pool._frames)
+        assert b not in resident
+        assert a in resident

@@ -1,0 +1,70 @@
+"""CLI: argument handling and command output."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "fig99"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "wikipedia"
+        assert args.encoding == "hop"
+        assert not args.no_dedup
+
+
+class TestCommands:
+    def test_workloads_lists_all(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("wikipedia", "enron", "stackexchange", "messageboards"):
+            assert name in out
+
+    def test_run_prints_summary(self, capsys):
+        assert main([
+            "run", "--workload", "enron", "--target-bytes", "120000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "replicas converged: True" in out
+        assert "stored (dedup)" in out
+
+    def test_run_baseline_mode(self, capsys):
+        assert main([
+            "run", "--workload", "enron", "--target-bytes", "120000",
+            "--no-dedup", "--block-compression", "zlib",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(1.00x)" in out  # dedup ratio is 1.0 without the engine
+
+    def test_experiment_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "version-jumping" in out
+        assert "hop" in out
+
+    def test_experiment_fig15(self, capsys):
+        assert main(["experiment", "fig15"]) == 0
+        out = capsys.readouterr().out
+        assert "xDelta" in out
+
+    def test_trace_record_and_replay(self, capsys, tmp_path):
+        path = str(tmp_path / "t.trace")
+        assert main([
+            "trace-record", path, "--workload", "enron",
+            "--target-bytes", "60000",
+        ]) == 0
+        assert main(["trace-replay", path]) == 0
+        out = capsys.readouterr().out
+        assert "converged: True" in out
+
+    def test_workloads_includes_extras(self, capsys):
+        main(["workloads"])
+        assert "oltp" in capsys.readouterr().out

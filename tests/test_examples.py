@@ -1,0 +1,34 @@
+"""Example scripts: keep every shipped example runnable.
+
+Each example runs as a subprocess with the repo's interpreter; a broken
+import, API drift, or an exception in any example fails the suite.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=[s.stem for s in EXAMPLES])
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_all_examples_discovered():
+    names = {script.stem for script in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 5

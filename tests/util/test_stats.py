@@ -1,0 +1,99 @@
+"""Statistics helpers: Welford accumulator, percentiles, CDFs."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import RunningStats, cdf_points, percentile, weighted_cdf_points
+
+
+class TestRunningStats:
+    def test_empty(self):
+        stats = RunningStats()
+        assert stats.count == 0
+        assert stats.mean == 0.0
+        assert stats.variance == 0.0
+
+    def test_single_value(self):
+        stats = RunningStats()
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+        assert stats.minimum == 5.0
+        assert stats.maximum == 5.0
+
+    def test_mean_and_variance_match_formulas(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        stats = RunningStats()
+        for value in values:
+            stats.add(value)
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.stddev == pytest.approx(2.0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=200))
+    def test_matches_batch_computation(self, values):
+        stats = RunningStats()
+        for value in values:
+            stats.add(value)
+        mean = sum(values) / len(values)
+        assert stats.mean == pytest.approx(mean, abs=1e-6)
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+
+
+class TestPercentile:
+    def test_median_of_odd_list(self):
+        assert percentile([3.0, 1.0, 2.0], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 50) == 5.0
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 150)
+
+    @given(
+        st.lists(st.floats(0, 1e9), min_size=1, max_size=100),
+        st.floats(0, 100),
+    )
+    def test_within_value_range(self, values, pct):
+        result = percentile(values, pct)
+        # Allow for float rounding in the interpolation.
+        span = max(values) - min(values)
+        epsilon = 1e-9 * (abs(max(values)) + span + 1.0)
+        assert min(values) - epsilon <= result <= max(values) + epsilon
+
+
+class TestCdf:
+    def test_cdf_reaches_one(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert points[-1][1] == pytest.approx(1.0)
+        assert [value for value, _ in points] == [1.0, 2.0, 3.0]
+
+    def test_cdf_empty(self):
+        assert cdf_points([]) == []
+
+    def test_weighted_cdf_respects_weights(self):
+        points = weighted_cdf_points([1.0, 2.0], [1.0, 3.0])
+        assert points[0] == (1.0, pytest.approx(0.25))
+        assert points[1] == (2.0, pytest.approx(1.0))
+
+    def test_weighted_cdf_zero_weight_total(self):
+        assert weighted_cdf_points([1.0], [0.0]) == []
+
+    def test_weighted_cdf_monotone(self):
+        points = weighted_cdf_points([5.0, 1.0, 3.0], [2.0, 1.0, 4.0])
+        fractions = [fraction for _, fraction in points]
+        assert fractions == sorted(fractions)
+        assert math.isclose(fractions[-1], 1.0)

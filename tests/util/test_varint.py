@@ -1,0 +1,66 @@
+"""Varint codec: exact encodings, round trips, error handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.varint import decode_uvarint, encode_uvarint
+
+
+class TestEncode:
+    def test_zero_is_one_byte(self):
+        assert encode_uvarint(0) == b"\x00"
+
+    def test_single_byte_boundary(self):
+        assert encode_uvarint(127) == b"\x7f"
+
+    def test_two_byte_boundary(self):
+        assert encode_uvarint(128) == b"\x80\x01"
+
+    def test_known_multibyte_value(self):
+        assert encode_uvarint(300) == b"\xac\x02"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_uvarint(-1)
+
+    def test_length_grows_with_magnitude(self):
+        assert len(encode_uvarint(1 << 35)) == 6
+
+
+class TestDecode:
+    def test_returns_value_and_offset(self):
+        assert decode_uvarint(b"\xac\x02rest") == (300, 2)
+
+    def test_decode_at_offset(self):
+        data = b"xx" + encode_uvarint(5000)
+        value, end = decode_uvarint(data, 2)
+        assert value == 5000
+        assert end == len(data)
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            decode_uvarint(b"\x80")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            decode_uvarint(b"")
+
+
+@given(st.integers(min_value=0, max_value=1 << 64))
+def test_roundtrip(value):
+    encoded = encode_uvarint(value)
+    decoded, offset = decode_uvarint(encoded)
+    assert decoded == value
+    assert offset == len(encoded)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 40), max_size=20))
+def test_concatenated_stream_roundtrip(values):
+    stream = b"".join(encode_uvarint(v) for v in values)
+    out = []
+    pos = 0
+    while pos < len(stream):
+        value, pos = decode_uvarint(stream, pos)
+        out.append(value)
+    assert out == values

@@ -1,0 +1,61 @@
+"""Edit and quote models."""
+
+import random
+
+from repro.workloads.edits import quote, revise
+from repro.workloads.text import TextGenerator
+
+
+class TestRevise:
+    def test_revision_differs_but_overlaps(self, text_gen):
+        rng = random.Random(1)
+        base = text_gen.document(4000)
+        revised = revise(rng, text_gen, base, num_edits=3)
+        assert revised != base
+        # Most of the document survives: long common substring exists.
+        probe = base[1000:1200]
+        assert probe in revised or base[2000:2200] in revised
+
+    def test_single_edit_changes_little(self, text_gen):
+        rng = random.Random(2)
+        base = text_gen.document(4000)
+        revised = revise(rng, text_gen, base, num_edits=1)
+        assert abs(len(revised) - len(base)) < 600
+
+    def test_deterministic_given_rng_state(self, text_gen):
+        base = TextGenerator(seed=10).document(2000)
+        a = revise(random.Random(3), TextGenerator(seed=11), base, num_edits=2)
+        b = revise(random.Random(3), TextGenerator(seed=11), base, num_edits=2)
+        assert a == b
+
+    def test_short_body_still_works(self, text_gen):
+        rng = random.Random(4)
+        revised = revise(rng, text_gen, "tiny", num_edits=2)
+        assert len(revised) > 4
+
+
+class TestQuote:
+    def test_prefixes_every_line(self):
+        assert quote("line one\nline two") == "> line one\n> line two"
+
+    def test_nested_quote_deepens(self):
+        once = quote("msg")
+        twice = quote(once)
+        assert twice == "> > msg"
+
+    def test_depth_limit_drops_old_layers(self):
+        body = "core"
+        for _ in range(10):
+            body = quote(body, depth_limit=3)
+            for line in body.splitlines():
+                depth = 0
+                probe = line
+                while probe.startswith("> "):
+                    probe = probe[2:]
+                    depth += 1
+                assert depth <= 3
+        # Everything beyond the limit was eventually truncated away.
+        assert body == ""
+
+    def test_empty_body(self):
+        assert quote("") == ""

@@ -1,0 +1,48 @@
+"""Synthetic text generator: determinism and entropy band."""
+
+from repro.compression.snappy import snappy_compress
+from repro.workloads.text import TextGenerator
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        a = TextGenerator(seed=5).document(2000)
+        b = TextGenerator(seed=5).document(2000)
+        assert a == b
+
+    def test_different_seed_different_output(self):
+        assert TextGenerator(seed=5).document(500) != TextGenerator(seed=6).document(500)
+
+
+class TestStructure:
+    def test_document_length_near_target(self):
+        doc = TextGenerator(seed=1).document(5000)
+        assert 5000 <= len(doc) < 8000
+
+    def test_sentence_ends_with_punctuation(self):
+        sentence = TextGenerator(seed=2).sentence()
+        assert sentence[-1] in ".!?"
+        assert sentence[0].isupper()
+
+    def test_paragraphs_separated(self):
+        doc = TextGenerator(seed=3).document(3000)
+        assert "\n\n" in doc
+
+    def test_identifier_unique_looking(self):
+        gen = TextGenerator(seed=4)
+        assert gen.identifier("u") != gen.identifier("u")
+
+    def test_lognormal_size_clamped(self):
+        gen = TextGenerator(seed=5)
+        for _ in range(200):
+            size = gen.lognormal_size(1000, minimum=100, maximum=5000)
+            assert 100 <= size <= 5000
+
+
+class TestEntropy:
+    def test_block_compression_band(self):
+        # The whole point of the generator: Snappy-class ratio like real
+        # text (paper band 1.6-2.3x; we accept a slightly wider envelope).
+        blob = TextGenerator(seed=7).document(40_000).encode()
+        ratio = len(blob) / len(snappy_compress(blob))
+        assert 1.3 < ratio < 3.0
