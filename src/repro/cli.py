@@ -15,6 +15,7 @@ import sys
 
 from repro.bench import experiments
 from repro.bench import ablations
+from repro.bench.pipeline_profile import pipeline_profile
 from repro.core.config import DedupConfig
 from repro.db.cluster import Cluster, ClusterConfig
 from repro.workloads import ALL_WORKLOADS, make_workload
@@ -46,6 +47,10 @@ EXPERIMENTS = {
     "ablation-compaction": lambda args: ablations.compaction_ablation(
         target_bytes=args.target_bytes
     ),
+    "pipeline-profile": lambda args: pipeline_profile(
+        args.workload, target_bytes=args.target_bytes,
+        batch_size=max(args.batch_size, 2),
+    ),
 }
 
 
@@ -63,6 +68,8 @@ def build_parser() -> argparse.ArgumentParser:
                      help="dataset for per-dataset experiments")
     exp.add_argument("--target-bytes", type=int, default=1_000_000,
                      help="raw corpus size to synthesize")
+    exp.add_argument("--batch-size", type=int, default=64,
+                     help="insert batch size for pipeline-profile")
 
     run = sub.add_parser("run", help="run a workload through a cluster")
     run.add_argument("--workload", default="wikipedia",
@@ -79,6 +86,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable the dedup engine (baseline)")
     run.add_argument("--trace", default="insert", choices=["insert", "mixed"],
                      help="insert-only load or the mixed read/write trace")
+    run.add_argument("--batch-size", type=int, default=1,
+                     help="coalesce consecutive inserts into batches of "
+                          "this size (1 = per-record inserts)")
+    run.add_argument("--stage-stats", action="store_true",
+                     help="also print the per-stage pipeline table")
 
     sub.add_parser("workloads", help="list available dataset generators")
 
@@ -128,6 +140,7 @@ def command_run(args: argparse.Namespace) -> int:
         ),
         dedup_enabled=not args.no_dedup,
         block_compression=args.block_compression,
+        insert_batch_size=args.batch_size,
     )
     cluster = Cluster(config)
     workload = make_workload(args.workload, seed=args.seed,
@@ -150,6 +163,9 @@ def command_run(args: argparse.Namespace) -> int:
     print(f"latency p50/p99.9:  {result.latency_percentile(50) * 1e3:.2f} / "
           f"{result.latency_percentile(99.9) * 1e3:.2f} ms")
     print(f"replicas converged: {cluster.replicas_converged()}")
+    if args.stage_stats and cluster.primary.engine is not None:
+        print()
+        print(cluster.primary.engine.describe_pipeline())
     return 0
 
 

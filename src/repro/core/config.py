@@ -39,6 +39,10 @@ class DedupConfig:
         size_filter_enabled: the filter can be disabled for ablations.
         idle_queue_threshold: disk queue length at or below which the
             write-back cache flushes (§3.3.2's idleness signal).
+        saving_sample_cap: maximum per-record saving samples retained for
+            Fig. 7's weighted CDF; beyond the cap the engine reservoir-
+            samples so memory stays O(cap) however long the run. <= 0
+            keeps every sample (unbounded; pre-cap behaviour).
     """
 
     chunk_size: int = 1024
@@ -61,6 +65,7 @@ class DedupConfig:
     size_filter_enabled: bool = True
     idle_queue_threshold: int = 0
     murmur_seed: int = 0x5EED
+    saving_sample_cap: int = 100_000
 
     def __post_init__(self) -> None:
         if self.chunk_size < 8 or self.chunk_size & (self.chunk_size - 1):

@@ -11,22 +11,32 @@ leaving the actual storage mutations to the database, which schedules them
 through the lossy write-back cache. The engine only touches storage
 through the narrow :class:`RecordProvider` protocol, so it is equally
 testable against a dict as against the full simulated DBMS.
+
+The workflow itself lives in :mod:`repro.core.pipeline` as an explicit
+stage list; :meth:`DedupEngine.encode` drives one record through it and
+:meth:`DedupEngine.encode_batch` drives a whole batch, amortizing the
+vectorized sketch extraction across records.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol
+from typing import Protocol, Sequence
 
 from repro.cache.writeback import WriteBackEntry
 from repro.chunking.cdc import ContentDefinedChunker
 from repro.core.config import DedupConfig
 from repro.core.governor import DedupGovernor
+from repro.core.pipeline import (
+    EncodeContext,
+    PipelineObserver,
+    StageStatsObserver,
+    build_default_pipeline,
+)
 from repro.core.planner import CpuMeter, WritebackPlanner
 from repro.core.selector import SourceSelector
 from repro.core.size_filter import AdaptiveSizeFilter
 from repro.core.stats import DedupStats
-from repro.delta.instructions import serialize
 from repro.index.cuckoo import CuckooFeatureIndex
 from repro.sim.costs import CostModel
 from repro.sketch.features import SketchExtractor
@@ -89,6 +99,7 @@ class DedupEngine:
         self,
         config: DedupConfig | None = None,
         costs: CostModel | None = None,
+        observers: Sequence[PipelineObserver] = (),
     ) -> None:
         self.config = config if config is not None else DedupConfig()
         self.costs = costs if costs is not None else CostModel()
@@ -109,12 +120,23 @@ class DedupEngine:
             refresh_interval=self.config.size_filter_interval,
             enabled=self.config.size_filter_enabled,
         )
-        self.stats = DedupStats()
+        self.stats = DedupStats(saving_sample_cap=self.config.saving_sample_cap)
         #: Per-logical-database statistics (savings samples only kept
         #: globally, to bound memory).
         self.database_stats: dict[str, DedupStats] = {}
         self._indexes: dict[str, CuckooFeatureIndex] = {}
+        #: record id → global insertion sequence, used for recency
+        #: tie-breaks in source selection. Pruned on record deletion and
+        #: on governor-driven partition teardown.
         self._insert_seq: dict[str, int] = {}
+        self._next_seq = 0
+        #: database → ids registered while its partition lived, so a
+        #: partition teardown can prune ``_insert_seq`` without a scan.
+        self._partition_records: dict[str, set[str]] = {}
+        #: The staged encode workflow (see :mod:`repro.core.pipeline`).
+        self.pipeline = build_default_pipeline(
+            self, observers=[StageStatsObserver(self.stats), *observers]
+        )
 
     # -- convenience views -----------------------------------------------------
 
@@ -142,7 +164,7 @@ class DedupEngine:
         return stats
 
     def describe(self) -> str:
-        """Operator-facing summary: one line per database."""
+        """Operator-facing summary: per-database status + per-stage table."""
         from repro.bench.report import render_table
 
         rows = []
@@ -158,12 +180,41 @@ class DedupEngine:
                     self.size_filter.threshold(database),
                 )
             )
-        return render_table(
+        status = render_table(
             "dbDedup engine status",
             ["database", "records", "hit ratio", "net ratio", "governor",
              "size cut-off"],
             rows,
         )
+        return status + "\n\n" + self.describe_pipeline()
+
+    def describe_pipeline(self) -> str:
+        """Per-stage instrumentation table: records in/out, drops, CPU."""
+        from repro.bench.report import render_table
+
+        rows = []
+        for name in self.pipeline.stage_names():
+            rows.append(
+                (
+                    name,
+                    self.stats.stage_records_in.get(name, 0),
+                    self.stats.stage_records_out.get(name, 0),
+                    self.stats.drops_at_stage(name),
+                    f"{self.stats.stage_cpu_seconds.get(name, 0.0):.4f}",
+                )
+            )
+        table = render_table(
+            "encode pipeline stages",
+            ["stage", "in", "out", "drops", "cpu s"],
+            rows,
+        )
+        if self.stats.drop_reasons:
+            reasons = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(self.stats.drop_reasons.items())
+            )
+            table += f"\ndrop reasons: {reasons}"
+        return table
 
     def index_for(self, database: str) -> CuckooFeatureIndex:
         """The database's feature-index partition (created on demand)."""
@@ -204,7 +255,7 @@ class DedupEngine:
             index = self.index_for(record.database)
             for feature in sketch.features:
                 index.insert(feature, record_id)
-            self._insert_seq[record_id] = len(self._insert_seq)
+            self.register_insert(record.database, record_id)
             self.source_cache.admit(record_id, content)
             indexed += 1
         return indexed
@@ -219,121 +270,76 @@ class DedupEngine:
         provider: RecordProvider,
     ) -> EncodeResult:
         """Run the dedup workflow for one inserted record."""
-        raw_size = len(content)
-        meter = CpuMeter(self.costs)
-
-        if not self.governor.is_enabled(database):
-            self.stats.records_bypassed += 1
-            self.stats_for(database).records_bypassed += 1
-            return self._unique_result(database, record_id, raw_size, meter)
-        if not self.size_filter.should_dedup(database, raw_size):
-            self.stats.records_filtered += 1
-            self.stats_for(database).records_filtered += 1
-            return self._unique_result(database, record_id, raw_size, meter)
-
-        # Step 1: feature extraction (§3.1.1).
-        meter.charge_chunking(raw_size)
-        sketch = self.extractor.sketch(content)
-
-        # Step 2: index lookup, registering the new record as it goes (§3.1.2).
-        index = self.index_for(database)
-        candidates = [
-            index.lookup_and_insert(feature, record_id) for feature in sketch.features
-        ]
-        self._insert_seq[record_id] = len(self._insert_seq)
-
-        # Step 3: cache-aware source selection (§3.1.3).
-        selected = self.selector.select(
-            candidates, recency_of=lambda rid: self._insert_seq.get(rid, -1)
-        )
-        if selected is None or selected.record_id == record_id:
-            return self._finish_unique(database, record_id, content, meter)
-
-        source_content = self.planner.fetch(selected.record_id, provider)
-        if source_content is None:
-            return self._finish_unique(database, record_id, content, meter)
-
-        # Step 4: delta compression, forward direction first (§3.2.1).
-        meter.charge_delta(len(source_content) + raw_size)
-        forward = self.planner.compressor.compress(source_content, content)
-        forward_payload = serialize(forward)
-        if len(forward_payload) >= raw_size * self.config.min_savings_ratio:
-            # Not enough savings to justify a chain edge.
-            return self._finish_unique(database, record_id, content, meter)
-
-        writebacks, overlapped = self.planner.plan(
-            record_id, selected.record_id, content, source_content, forward,
-            provider, meter,
-        )
-        if overlapped:
-            self.stats.overlapped_encodings += 1
-        self.stats.writebacks_planned += len(writebacks)
-
-        oplog_size = len(forward_payload)
-        planned_savings = sum(entry.space_saving for entry in writebacks)
-        ideal_delta = (
-            raw_size
-            if self.config.encoding == "forward"
-            else raw_size - planned_savings
-        )
-        self.stats.record_insert(raw_size, oplog_size, ideal_delta, deduped=True)
-        self.stats_for(database).record_insert(
-            raw_size, oplog_size, ideal_delta, deduped=True
-        )
-        if selected.was_cached:
-            self.stats.source_cache_hits += 1
-        else:
-            self.stats.source_cache_misses += 1
-        self._observe_governor(database, raw_size, oplog_size)
-        return EncodeResult(
-            record_id=record_id,
+        ctx = EncodeContext(
             database=database,
-            raw_size=raw_size,
-            deduped=True,
-            source_id=selected.record_id,
-            forward_payload=forward_payload,
-            oplog_size=oplog_size,
-            writebacks=tuple(writebacks),
-            ideal_stored_delta=ideal_delta,
-            overlapped=overlapped,
-            source_was_cached=selected.was_cached,
-            cpu_seconds=meter.seconds,
+            record_id=record_id,
+            content=content,
+            provider=provider,
+            meter=CpuMeter(self.costs),
         )
+        self.pipeline.run(ctx)
+        return ctx.result
 
-    # -- internals -------------------------------------------------------------
+    def encode_batch(
+        self,
+        items: Sequence[tuple[str, str, bytes]],
+        provider: RecordProvider,
+    ) -> list[EncodeResult]:
+        """Run the dedup workflow for a batch of inserted records.
 
-    def _finish_unique(
-        self, database: str, record_id: str, content: bytes, meter: CpuMeter
-    ) -> EncodeResult:
-        """Record went through the pipeline but stores unencoded.
+        Args:
+            items: ``(database, record_id, content)`` triples in insert
+                order.
+            provider: storage access shared by the whole batch.
 
-        §3.3.1: "When no similar source is found, dbDedup simply adds the
-        new record to the cache" — it may become tomorrow's source.
+        Semantically identical to calling :meth:`encode` once per item in
+        order — same :class:`EncodeResult` sequence, same statistics —
+        but the sketch stage runs vectorized over the whole batch, which
+        amortizes the numpy chunking overhead for small records.
         """
-        self.source_cache.admit(record_id, content)
-        self._observe_governor(database, len(content), len(content))
-        return self._unique_result(database, record_id, len(content), meter)
+        contexts = [
+            EncodeContext(
+                database=database,
+                record_id=record_id,
+                content=content,
+                provider=provider,
+                meter=CpuMeter(self.costs),
+            )
+            for database, record_id, content in items
+        ]
+        self.pipeline.run_batch(contexts)
+        return [ctx.result for ctx in contexts]
 
-    def _unique_result(
-        self, database: str, record_id: str, raw_size: int, meter: CpuMeter
-    ) -> EncodeResult:
-        self.stats.record_insert(raw_size, raw_size, raw_size, deduped=False)
-        self.stats_for(database).record_insert(
-            raw_size, raw_size, raw_size, deduped=False
-        )
-        return EncodeResult(
-            record_id=record_id,
-            database=database,
-            raw_size=raw_size,
-            deduped=False,
-            oplog_size=raw_size,
-            ideal_stored_delta=raw_size,
-            cpu_seconds=meter.seconds,
-        )
+    # -- pipeline support (called by the stages) ---------------------------------
 
-    def _observe_governor(self, database: str, bytes_in: int, bytes_out: int) -> None:
+    def register_insert(self, database: str, record_id: str) -> None:
+        """Record a new insert in the recency sequence and its partition."""
+        self._insert_seq[record_id] = self._next_seq
+        self._next_seq += 1
+        self._partition_records.setdefault(database, set()).add(record_id)
+
+    def forget_record(self, database: str, record_id: str) -> None:
+        """Drop per-record bookkeeping when a record is deleted.
+
+        The feature index self-heals through LRU eviction and the source
+        cache is invalidated by the database, but the insertion-sequence
+        map would otherwise grow forever (records are never un-sequenced).
+        """
+        self._insert_seq.pop(record_id, None)
+        partition = self._partition_records.get(database)
+        if partition is not None:
+            partition.discard(record_id)
+
+    def observe_governor(
+        self, database: str, bytes_in: int, bytes_out: int
+    ) -> None:
+        """Feed one record's sizes to the governor; tear down on disable."""
         still_enabled = self.governor.observe(database, bytes_in, bytes_out)
-        if not still_enabled and database in self._indexes:
-            # §3.4.1: delete the disabled database's index partition.
-            self._indexes[database].clear()
-            del self._indexes[database]
+        if not still_enabled:
+            # §3.4.1: delete the disabled database's index partition, and
+            # prune the per-record bookkeeping that referenced it.
+            index = self._indexes.pop(database, None)
+            if index is not None:
+                index.clear()
+            for record_id in self._partition_records.pop(database, ()):
+                self._insert_seq.pop(record_id, None)

@@ -2,7 +2,18 @@
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
+
+#: Default bound on retained saving samples (satellite of Fig. 7): enough
+#: for a statistically tight weighted CDF, small enough to stay O(1) in
+#: corpus size.
+DEFAULT_SAVING_SAMPLE_CAP = 100_000
+
+#: Fixed reservoir seed — sampling must be a deterministic function of the
+#: insert stream so batched and sequential execution produce identical
+#: statistics (and so experiment reruns reproduce bit-for-bit).
+_RESERVOIR_SEED = 0x5EED
 
 
 @dataclass
@@ -11,6 +22,15 @@ class DedupStats:
 
     Compression ratios are reported the paper's way: original size divided
     by reduced size, so 1.0 means "no compression".
+
+    Besides the headline counters, the staged pipeline feeds per-stage
+    instrumentation (see :class:`repro.core.pipeline.StageStatsObserver`):
+    ``stage_records_in``/``stage_records_out`` count contexts entering and
+    surviving each stage, ``stage_cpu_seconds`` accumulates the simulated
+    CPU charged inside each stage, and ``drop_reasons`` tallies why
+    records left the dedup path. They reconcile: for every stage,
+    ``in == out + drops-at-stage``, and the terminal accounting stage sees
+    exactly ``records_seen`` contexts.
     """
 
     records_seen: int = 0
@@ -34,8 +54,30 @@ class DedupStats:
 
     #: Per-record space saving samples, kept for Fig. 7's weighted CDF:
     #: (raw record size, bytes saved by dedup on the forward path).
+    #: Bounded by ``saving_sample_cap`` via reservoir sampling (Vitter's
+    #: algorithm R): once full, each subsequent record replaces a random
+    #: slot with probability cap/seen, so the reservoir stays a uniform
+    #: sample of *all* records — which keeps both the record-size CDF and
+    #: the saving-weighted CDF unbiased estimators of the full-corpus
+    #: curves.
     saving_samples: list[tuple[int, int]] = field(default_factory=list)
     keep_saving_samples: bool = True
+    #: Maximum retained samples; <= 0 means unbounded (not recommended).
+    saving_sample_cap: int = DEFAULT_SAVING_SAMPLE_CAP
+    #: How many samples were *offered* (records seen while sampling).
+    saving_samples_seen: int = 0
+
+    # -- per-stage pipeline instrumentation --
+    stage_records_in: dict[str, int] = field(default_factory=dict)
+    stage_records_out: dict[str, int] = field(default_factory=dict)
+    stage_cpu_seconds: dict[str, float] = field(default_factory=dict)
+    drop_reasons: dict[str, int] = field(default_factory=dict)
+
+    _sample_rng: random.Random = field(
+        default_factory=lambda: random.Random(_RESERVOIR_SEED),
+        repr=False,
+        compare=False,
+    )
 
     def record_insert(
         self, raw_size: int, oplog_size: int, ideal_stored: int, deduped: bool
@@ -50,7 +92,49 @@ class DedupStats:
         else:
             self.records_unique += 1
         if self.keep_saving_samples:
-            self.saving_samples.append((raw_size, raw_size - oplog_size))
+            self._offer_sample((raw_size, raw_size - oplog_size))
+
+    def _offer_sample(self, sample: tuple[int, int]) -> None:
+        """Reservoir-sample one record into ``saving_samples``."""
+        self.saving_samples_seen += 1
+        if self.saving_sample_cap <= 0 or (
+            len(self.saving_samples) < self.saving_sample_cap
+        ):
+            self.saving_samples.append(sample)
+            return
+        slot = self._sample_rng.randrange(self.saving_samples_seen)
+        if slot < self.saving_sample_cap:
+            self.saving_samples[slot] = sample
+
+    # -- pipeline instrumentation (fed by StageStatsObserver) --
+
+    def note_stage_entry(self, stage: str) -> None:
+        """Count one context entering ``stage``."""
+        self.stage_records_in[stage] = self.stage_records_in.get(stage, 0) + 1
+
+    def note_stage_exit(
+        self, stage: str, cpu_seconds: float, survived: bool
+    ) -> None:
+        """Count one context leaving ``stage``; ``survived`` is False when
+        the stage dropped it from the dedup path."""
+        if survived:
+            self.stage_records_out[stage] = (
+                self.stage_records_out.get(stage, 0) + 1
+            )
+        if cpu_seconds:
+            self.stage_cpu_seconds[stage] = (
+                self.stage_cpu_seconds.get(stage, 0.0) + cpu_seconds
+            )
+
+    def note_drop(self, reason: str) -> None:
+        """Tally one record leaving the dedup path for ``reason``."""
+        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+
+    def drops_at_stage(self, stage: str) -> int:
+        """Records dropped inside ``stage`` (in minus out)."""
+        return self.stage_records_in.get(stage, 0) - self.stage_records_out.get(
+            stage, 0
+        )
 
     @property
     def network_compression_ratio(self) -> float:

@@ -15,6 +15,8 @@ idleness signal and the latency numbers mean something.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.cache.source_cache import SourceRecordCache
 from repro.cache.writeback import LossyWriteBackCache, WriteBackEntry
 from repro.compression.block import BlockCompressor
@@ -84,6 +86,36 @@ class Database:
         self.records[record_id] = record
         self.pages.place(record_id, content)
         return self.disk.write(len(content))
+
+    def insert_many(
+        self, items: Sequence[tuple[str, str, bytes]]
+    ) -> float:
+        """Store a batch of new records raw; returns the summed disk latency.
+
+        ``items`` is ``(database, record_id, content)`` triples. The batch
+        is validated before anything is stored, so a duplicate id —
+        against existing records or within the batch itself — raises
+        :class:`RecordExists` with the store untouched (atomic admission,
+        unlike a half-applied loop of :meth:`insert`).
+        """
+        seen: set[str] = set()
+        for _, record_id, _ in items:
+            if record_id in self.records or record_id in seen:
+                raise RecordExists(record_id)
+            seen.add(record_id)
+        latency = 0.0
+        for database, record_id, content in items:
+            record = StoredRecord(
+                record_id=record_id,
+                database=database,
+                form=RecordForm.RAW,
+                payload=content,
+                raw_size=len(content),
+            )
+            self.records[record_id] = record
+            self.pages.place(record_id, content)
+            latency += self.disk.write(len(content))
+        return latency
 
     def read(self, database: str, record_id: str) -> tuple[bytes | None, float]:
         """Client read: ``(content, latency)``; content is None for deleted

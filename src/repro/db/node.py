@@ -112,6 +112,59 @@ class PrimaryNode:
         self.db.flush_writebacks_if_idle(max_flushes=4)
         return latency
 
+    def insert_batch(
+        self, items: list[tuple[str, str, bytes]]
+    ) -> float:
+        """Insert a batch of records in one client request.
+
+        ``items`` is ``(database, record_id, content)`` triples in insert
+        order. Storage admission is batched (one request overhead for the
+        whole batch) and the dedup encoder runs
+        :meth:`~repro.core.engine.DedupEngine.encode_batch`, amortizing
+        the vectorized sketch pass; oplog entries, write-back scheduling,
+        and chain bookkeeping are identical to the per-record path and in
+        the same order, so replicas replay the stream unchanged.
+        """
+        latency = self.costs.request_overhead_s
+        if self.inline_block_compression:
+            total_bytes = sum(len(content) for _, _, content in items)
+            latency += total_bytes * self.costs.cpu_compress_byte_s
+        latency += self.db.insert_many(items)
+
+        if self.engine is None:
+            for database, record_id, content in items:
+                self.oplog.append(
+                    self.clock.now, "insert", database, record_id,
+                    payload=content,
+                )
+            return latency
+
+        results = self.engine.encode_batch(items, provider=self.db)
+        for (database, record_id, content), result in zip(items, results):
+            self.background_cpu_seconds += result.cpu_seconds
+            if result.deduped:
+                self.oplog.append(
+                    self.clock.now,
+                    "insert",
+                    database,
+                    record_id,
+                    payload=result.forward_payload,
+                    base_id=result.source_id,
+                    encoded=True,
+                )
+                if self.use_writeback_cache:
+                    self.db.schedule_writebacks(result.writebacks)
+                else:
+                    for entry in result.writebacks:
+                        self.db.apply_writeback(entry)
+            else:
+                self.oplog.append(
+                    self.clock.now, "insert", database, record_id,
+                    payload=content,
+                )
+        self.db.flush_writebacks_if_idle(max_flushes=4 * len(items))
+        return latency
+
     def read(self, database: str, record_id: str) -> tuple[bytes | None, float]:
         """Client read, decoding if the record is delta-encoded."""
         content, disk_latency = self.db.read(database, record_id)
@@ -128,6 +181,10 @@ class PrimaryNode:
     def delete(self, database: str, record_id: str) -> float:
         """Delete a record."""
         latency = self.costs.request_overhead_s + self.db.delete(record_id)
+        if self.engine is not None:
+            # Per-record engine bookkeeping (insertion sequence) must not
+            # outlive the record, or it leaks one entry per deletion.
+            self.engine.forget_record(database, record_id)
         self.oplog.append(self.clock.now, "delete", database, record_id)
         return latency
 

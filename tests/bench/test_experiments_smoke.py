@@ -85,3 +85,19 @@ class TestAblationFunctions:
     def test_network_stack_structure(self):
         result = A.network_stack_ablation(target_bytes=TINY)
         assert result.row("original").network_ratio <= result.row("dbDedup").network_ratio
+
+
+class TestPipelineProfile:
+    def test_pipeline_profile_structure(self):
+        from repro.bench.pipeline_profile import pipeline_profile
+
+        result = pipeline_profile("enron", target_bytes=TINY, batch_size=16)
+        stages = [row.stage for row in result.rows]
+        assert stages[0] == "governor_gate" and stages[-1] == "accounting"
+        accounting = result.rows[-1]
+        assert accounting.records_in == result.records_seen
+        assert accounting.records_out == result.records_seen
+        for row in result.rows:
+            assert row.records_in == row.records_out + row.drops
+        rendered = result.render()
+        assert "drop reasons:" in rendered and "speedup:" in rendered
