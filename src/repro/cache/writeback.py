@@ -90,6 +90,10 @@ class LossyWriteBackCache:
         item = self._by_record.get(record_id)
         return item.entry.base_id if item is not None else None
 
+    def pending_entries(self) -> list[WriteBackEntry]:
+        """Snapshot of every queued entry (invariant checking / inspection)."""
+        return [item.entry for item in self._by_record.values()]
+
     @property
     def used_bytes(self) -> int:
         """Bytes currently held by cached entries."""

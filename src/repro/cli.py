@@ -91,6 +91,9 @@ def build_parser() -> argparse.ArgumentParser:
                           "this size (1 = per-record inserts)")
     run.add_argument("--stage-stats", action="store_true",
                      help="also print the per-stage pipeline table")
+    run.add_argument("--check-invariants", action="store_true",
+                     help="run the full cluster-invariant sweep after the "
+                          "workload; non-zero exit on any violation")
 
     sub.add_parser("workloads", help="list available dataset generators")
 
@@ -113,6 +116,9 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--block-compression", default="none",
                         choices=["none", "snappy", "zlib"])
     replay.add_argument("--no-dedup", action="store_true")
+    replay.add_argument("--check-invariants", action="store_true",
+                        help="run the full cluster-invariant sweep after the "
+                             "replay; non-zero exit on any violation")
 
     report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"
@@ -121,6 +127,15 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--target-bytes", type=int, default=800_000,
                         help="corpus scale per dataset")
     return parser
+
+
+def _run_invariant_sweep(cluster: Cluster) -> int:
+    """Run :func:`check_cluster`, print the summary, return an exit code."""
+    from repro.db.invariants import check_cluster
+
+    report = check_cluster(cluster, strict=False)
+    print(report.summary())
+    return 0 if report.ok else 1
 
 
 def command_experiment(args: argparse.Namespace) -> int:
@@ -166,6 +181,8 @@ def command_run(args: argparse.Namespace) -> int:
     if args.stage_stats and cluster.primary.engine is not None:
         print()
         print(cluster.primary.engine.describe_pipeline())
+    if args.check_invariants:
+        return _run_invariant_sweep(cluster)
     return 0
 
 
@@ -208,6 +225,8 @@ def command_trace_replay(args: argparse.Namespace) -> int:
     print(f"storage: {result.storage_compression_ratio:.2f}x  "
           f"network: {result.network_compression_ratio:.2f}x  "
           f"converged: {cluster.replicas_converged()}")
+    if args.check_invariants:
+        return _run_invariant_sweep(cluster)
     return 0
 
 

@@ -216,6 +216,10 @@ class DedupEngine:
             table += f"\ndrop reasons: {reasons}"
         return table
 
+    def index_partitions(self) -> list[tuple[str, CuckooFeatureIndex]]:
+        """Live ``(database, index)`` partitions (invariant checking)."""
+        return list(self._indexes.items())
+
     def index_for(self, database: str) -> CuckooFeatureIndex:
         """The database's feature-index partition (created on demand)."""
         index = self._indexes.get(database)
@@ -321,14 +325,18 @@ class DedupEngine:
     def forget_record(self, database: str, record_id: str) -> None:
         """Drop per-record bookkeeping when a record is deleted.
 
-        The feature index self-heals through LRU eviction and the source
-        cache is invalidated by the database, but the insertion-sequence
-        map would otherwise grow forever (records are never un-sequenced).
+        Index entries for the record are pruned eagerly so the index
+        never offers a deleted record as a dedup source (its content is
+        gone, so the delta stage could not verify it anyway), and the
+        insertion-sequence map would otherwise grow forever.
         """
         self._insert_seq.pop(record_id, None)
         partition = self._partition_records.get(database)
         if partition is not None:
             partition.discard(record_id)
+        index = self._indexes.get(database)
+        if index is not None:
+            index.remove_record(record_id)
 
     def observe_governor(
         self, database: str, bytes_in: int, bytes_out: int

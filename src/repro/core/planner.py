@@ -62,6 +62,15 @@ class WritebackPlanner:
             config.encoding if config.encoding != "forward" else "backward",
             config.hop_distance,
         )
+        #: Planned re-encodings skipped because the delta would not have
+        #: shrunk the stored form (``saving <= 0``). Each skip can leave
+        #: a decode chain longer than the hop policy's nominal bound, so
+        #: the invariant checker gates its hop-bound check on this.
+        self.unprofitable_skips = 0
+        #: Chain extensions from a non-tail source (Fig. 5 forks). The
+        #: orphaned old tail stays raw off the hop lattice, so this also
+        #: gates the hop-bound invariant.
+        self.overlapped_encodings = 0
 
     def fetch(self, record_id: str, provider) -> bytes | None:
         """Record content via the source cache, falling back to ``provider``."""
@@ -90,6 +99,8 @@ class WritebackPlanner:
         produced, but the chain is still tracked for cache maintenance.
         """
         chain_id, position, overlapped = self.chains.extend(source_id, record_id)
+        if overlapped:
+            self.overlapped_encodings += 1
         if self.config.encoding == "forward":
             self._refresh_cache(source_id, record_id, content, overlapped, None)
             return [], overlapped
@@ -120,7 +131,9 @@ class WritebackPlanner:
             payload = serialize(backward)
             saving = provider.stored_size(action.target_id) - len(payload)
             if saving <= 0:
-                continue  # a delta bigger than the stored form helps nobody
+                # A delta bigger than the stored form helps nobody.
+                self.unprofitable_skips += 1
+                continue
             writebacks.append(
                 WriteBackEntry(
                     record_id=action.target_id,

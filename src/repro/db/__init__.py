@@ -8,6 +8,13 @@ shipped in batches to a secondary, and the CRUD semantics dbDedup needs
 
 from repro.db.cluster import Cluster, ClusterConfig, RunResult
 from repro.db.database import Database
+from repro.db.invariants import (
+    ClusterInvariantError,
+    InvariantReport,
+    InvariantViolation,
+    check_cluster,
+    check_database,
+)
 from repro.db.node import PrimaryNode, SecondaryNode
 from repro.db.oplog import Oplog, OplogEntry
 from repro.db.record import RecordForm, StoredRecord
@@ -29,4 +36,9 @@ __all__ = [
     "load_snapshot",
     "replay_oplog",
     "ReplayReport",
+    "check_cluster",
+    "check_database",
+    "ClusterInvariantError",
+    "InvariantReport",
+    "InvariantViolation",
 ]

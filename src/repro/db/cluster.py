@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 
 from repro.compression.block import make_block_compressor
 from repro.core.config import DedupConfig
+from repro.db.errors import CorruptChain, CorruptPage
 from repro.db.node import PrimaryNode, SecondaryNode
 from repro.db.replication import DEFAULT_BATCH_BYTES, ReplicationLink
 from repro.sim.clock import SimClock
@@ -189,6 +190,12 @@ class Cluster:
         self.secondary_reads = 0
         self.stale_read_fallbacks = 0
         self._read_cursor = 0
+        #: Installed :class:`~repro.sim.faults.FaultPlan` (None when no
+        #: chaos is injected); its ``after_operation`` hook fires crash
+        #: rules after every client operation.
+        self.fault_plan = None
+        #: Records repaired through the quarantine path.
+        self.repairs = 0
 
     @property
     def secondary(self) -> SecondaryNode:
@@ -219,6 +226,8 @@ class Cluster:
         self.clock.advance(latency)
         for link in self.links:
             link.maybe_sync()
+        if self.fault_plan is not None:
+            self.fault_plan.after_operation(self)
         return latency
 
     def execute_insert_batch(self, ops: list[Operation]) -> float:
@@ -235,6 +244,8 @@ class Cluster:
         self.clock.advance(latency)
         for link in self.links:
             link.maybe_sync()
+        if self.fault_plan is not None:
+            self.fault_plan.after_operation(self)
         return latency
 
     def read(self, database: str, record_id: str) -> tuple[bytes | None, float]:
@@ -246,7 +257,7 @@ class Cluster:
         network round trip each way.
         """
         if self.config.read_preference == "primary":
-            return self.primary.read(database, record_id)
+            return self._read_with_repair(self.primary, database, record_id)
         secondary = self.secondaries[self._read_cursor % len(self.secondaries)]
         self._read_cursor += 1
         self.secondary_reads += 1
@@ -254,16 +265,119 @@ class Cluster:
         if record_id in secondary.db.records and not secondary.db.records[
             record_id
         ].deleted:
-            content, disk_latency = secondary.db.read(database, record_id)
+            content, disk_latency = self._read_with_repair(
+                secondary, database, record_id
+            )
             return content, latency + disk_latency + self.costs.network_time(
                 len(content) if content else 64
             )
         # Stale replica (or record deleted there): primary serves it.
         self.stale_read_fallbacks += 1
-        content, primary_latency = self.primary.read(database, record_id)
+        content, primary_latency = self._read_with_repair(
+            self.primary, database, record_id
+        )
         return content, latency + primary_latency + self.costs.network_time(
             len(content) if content else 64
         )
+
+    def _read_with_repair(
+        self, node, database: str, record_id: str
+    ) -> tuple[bytes | None, float]:
+        """Serve a read, routing detected corruption through quarantine.
+
+        A read that trips a page checksum (:class:`CorruptPage`) names
+        the corrupt record — possibly a decode *base* of the requested
+        one. The record is repaired from a healthy replica and the read
+        retried; a chain with several corrupt links converges because
+        each round repairs at least one record.
+        """
+        for _ in range(8):
+            try:
+                return node.db.read(database, record_id)
+            except CorruptPage as fault:
+                if self.repair_record(node, fault.record_id) == 0:
+                    raise
+        return node.db.read(database, record_id)
+
+    # -- quarantine repair (fault tolerance) ---------------------------------
+
+    def repair_record(self, node, record_id: str) -> int:
+        """Restore a corrupt record — and everything decoding through it —
+        from a healthy copy, raw.
+
+        Dependents must be restored too: their stored deltas decode
+        against the corrupted record's *old* payload, which is gone.
+        Restoring the whole dependent closure raw trades compression for
+        correctness, exactly the write-back cache's loss model. Returns
+        the number of records restored.
+        """
+        db = node.db
+        closure = [record_id]
+        frontier = [record_id]
+        while frontier:
+            current = frontier.pop()
+            for dependent in db.dependents_of(current):
+                if dependent not in closure:
+                    closure.append(dependent)
+                    frontier.append(dependent)
+        restored = 0
+        for target in closure:
+            record = db.records.get(target)
+            if record is None or record.deleted:
+                # Tombstones have no client-visible content to restore;
+                # they are reaped as their dependents release them.
+                continue
+            content = self._healthy_content(node, record.database, target)
+            if content is None:
+                continue  # unrecoverable for now; stays quarantined
+            if db.restore_record_raw(target, content):
+                restored += 1
+        self.repairs += restored
+        return restored
+
+    def _healthy_content(self, exclude_node, database: str, record_id: str):
+        """A record's content from any replica that reads it cleanly,
+        falling back to an oplog replay when no replica can serve it."""
+        for node in [self.primary, *self.secondaries]:
+            if node is exclude_node:
+                continue
+            record = node.db.records.get(record_id)
+            if record is None or record.deleted:
+                continue
+            try:
+                content, _ = node.db.read(database, record_id)
+            except (CorruptPage, CorruptChain):
+                continue
+            if content is not None:
+                return content
+        if self.primary.oplog.truncated_before > 0:
+            return None  # replay cannot reach truncated history
+        from repro.db.recovery import replay_oplog
+
+        replayed, _ = replay_oplog(self.primary.oplog.entries())
+        try:
+            content, _ = replayed.read(database, record_id)
+        except (CorruptPage, CorruptChain):  # pragma: no cover — replay is raw
+            return None
+        return content
+
+    def scrub(self) -> dict[str, int]:
+        """Proactive checksum scrub: verify every node, repair quarantine.
+
+        Returns ``{node_name: records_restored}`` — the background
+        integrity pass a production deployment would run periodically.
+        """
+        repaired: dict[str, int] = {}
+        nodes = [("primary", self.primary)] + [
+            (f"secondary{index}", secondary)
+            for index, secondary in enumerate(self.secondaries)
+        ]
+        for name, node in nodes:
+            count = 0
+            for record_id in node.db.verify_checksums():
+                count += self.repair_record(node, record_id)
+            repaired[name] = count
+        return repaired
 
     def _idle(self, seconds: float) -> float:
         """Advance quiet time in slices so background work can drain."""
@@ -349,7 +463,7 @@ class Cluster:
             logical_bytes=self.primary.db.logical_raw_bytes,
             stored_bytes=self.primary.db.stored_bytes,
             physical_bytes=self.primary.db.physical_bytes(),
-            network_bytes=self.network.bytes_sent,
+            network_bytes=self.network.bytes_delivered,
             index_memory_bytes=(
                 self.primary.engine.index_memory_bytes if self.primary.engine else 0
             ),
@@ -364,9 +478,21 @@ class Cluster:
         )
 
     def finalize(self) -> None:
-        """Ship the oplog tail and drain write-back caches on every node."""
-        for link in self.links:
-            link.sync()
+        """Ship the oplog tail and drain write-back caches on every node.
+
+        Syncs loop until every link's cursor reaches the oplog head:
+        under fault injection a sync can exhaust its delivery attempts
+        and leave the batch pending, so one round is not enough. The
+        round bound only trips when a fault plan drops *every* delivery
+        forever — real plans have probabilistic or limited rules.
+        """
+        head = self.primary.oplog.next_seq
+        for _ in range(64):
+            if all(link.cursor >= head for link in self.links):
+                break
+            for link in self.links:
+                if link.cursor < head:
+                    link.sync()
         self.primary.db.drain_writebacks()
         for secondary in self.secondaries:
             secondary.db.drain_writebacks()

@@ -16,11 +16,12 @@ idleness signal and the latency numbers mean something.
 from __future__ import annotations
 
 from typing import Sequence
+from zlib import crc32
 
 from repro.cache.source_cache import SourceRecordCache
 from repro.cache.writeback import LossyWriteBackCache, WriteBackEntry
 from repro.compression.block import BlockCompressor
-from repro.db.errors import CorruptChain, RecordExists, RecordNotFound
+from repro.db.errors import CorruptChain, CorruptPage, RecordExists, RecordNotFound
 from repro.db.pagestore import PageStore
 from repro.db.record import RecordForm, StoredRecord
 from repro.delta.dbdelta import DeltaCompressor
@@ -28,6 +29,15 @@ from repro.delta.decode import apply_delta
 from repro.delta.instructions import deserialize, serialize
 from repro.sim.clock import SimClock
 from repro.sim.disk import SimDisk
+from repro.sim.faults import TransientIOError
+
+#: Attempts before a transiently failing disk request is abandoned. The
+#: data is already safe in memory structures; only the simulated I/O
+#: accounting is lost, so giving up degrades latency numbers, not data.
+IO_RETRY_LIMIT = 6
+
+#: Base backoff between transient-I/O retries (doubles per attempt).
+IO_RETRY_BACKOFF_S = 0.001
 
 
 class Database:
@@ -43,6 +53,7 @@ class Database:
         record_cache: SourceRecordCache | None = None,
         idle_queue_threshold: int = 0,
         page_store=None,
+        node_role: str = "node",
     ) -> None:
         self.clock = clock if clock is not None else SimClock()
         self.disk = disk if disk is not None else SimDisk(self.clock)
@@ -63,6 +74,20 @@ class Database:
         self.writebacks_applied = 0
         self.gc_splices = 0
         self.decode_base_fetches = 0
+        #: Which cluster role owns this store ("primary"/"secondary") —
+        #: fault rules target roles (see :mod:`repro.sim.faults`).
+        self.node_role = node_role
+        #: Optional fault injector with an ``on_page_read`` hook.
+        self.fault_injector = None
+        #: crc32 of each record's stored payload, written alongside it.
+        self._checksums: dict[str, int] = {}
+        #: Records whose storage failed checksum verification, awaiting
+        #: repair from a healthy replica (see ``Cluster.repair_record``).
+        self.quarantine: set[str] = set()
+        self.corrupt_reads_detected = 0
+        self.corrupt_reads_recovered = 0
+        self.io_retries = 0
+        self.io_failures = 0
 
     # -- client-facing CRUD (§4.1) -------------------------------------------
 
@@ -85,7 +110,8 @@ class Database:
         )
         self.records[record_id] = record
         self.pages.place(record_id, content)
-        return self.disk.write(len(content))
+        self._note_checksum(record)
+        return self._disk_request("write", len(content))
 
     def insert_many(
         self, items: Sequence[tuple[str, str, bytes]]
@@ -114,7 +140,8 @@ class Database:
             )
             self.records[record_id] = record
             self.pages.place(record_id, content)
-            latency += self.disk.write(len(content))
+            self._note_checksum(record)
+            latency += self._disk_request("write", len(content))
         return latency
 
     def read(self, database: str, record_id: str) -> tuple[bytes | None, float]:
@@ -141,7 +168,7 @@ class Database:
         if record.ref_count > 0:
             record.pending_updates.append(content)
             self.pages.update(record_id, self._disk_image(record))
-            return self.disk.write(len(content))
+            return self._disk_request("write", len(content))
         old_base = record.base_id
         record.form = RecordForm.RAW
         record.payload = content
@@ -149,9 +176,10 @@ class Database:
         record.raw_size = len(content)
         record.pending_updates.clear()
         self.pages.update(record_id, content)
+        self._note_checksum(record)
         if old_base is not None:
             self._release_base(old_base)
-        return self.disk.write(len(content))
+        return self._disk_request("write", len(content))
 
     def delete(self, record_id: str) -> float:
         """Delete a record, deferring if others decode from it (§4.1)."""
@@ -228,7 +256,8 @@ class Database:
         record.base_id = entry.base_id
         base.ref_count += 1
         self.pages.update(entry.record_id, self._disk_image(record))
-        self.disk.submit("write", len(entry.payload))  # background write
+        self._note_checksum(record)
+        self._disk_request("write", len(entry.payload))  # background write
         if old_base is not None:
             self._release_base(old_base)
         self.writebacks_applied += 1
@@ -237,11 +266,21 @@ class Database:
     # -- RecordProvider protocol (engine-facing) ---------------------------------
 
     def fetch_content(self, record_id: str) -> bytes | None:
-        """Raw content for the dedup engine; charges background disk reads."""
+        """Raw content for the dedup engine; charges background disk reads.
+
+        A corrupt page along the decode path reads as *unavailable* (the
+        engine then treats the record as a cache miss and encodes less
+        aggressively) — background dedup must never turn detected
+        corruption into a failed client write. The record is already
+        quarantined for the repair path by the time this returns.
+        """
         record = self.records.get(record_id)
         if record is None:
             return None
-        content, _ = self._materialize(record, charge_foreground=False)
+        try:
+            content, _ = self._materialize(record, charge_foreground=False)
+        except CorruptPage:
+            return None
         return content
 
     def stored_size(self, record_id: str) -> int:
@@ -327,7 +366,16 @@ class Database:
             if cursor.record_id in seen:
                 raise CorruptChain(f"cycle at {cursor.record_id!r}")
             seen.add(cursor.record_id)
-            if self.record_cache is not None and chain:
+            # The cache shortcut is only sound for records whose client
+            # content equals their stored decode content. A record with
+            # pending updates breaks that: the engine's fetch path admits
+            # the *updated* content (what dedup wants), while dependents'
+            # deltas decode against the retained old payload.
+            if (
+                self.record_cache is not None
+                and chain
+                and not cursor.pending_updates
+            ):
                 cached = self.record_cache.peek(cursor.record_id)
                 if cached is not None:
                     cached_content = cached
@@ -348,10 +396,11 @@ class Database:
         contents: dict[str, bytes] = {}
         base_content = cached_content
         for rec in reversed(chain):
+            payload = self._read_payload(rec)
             if rec.form is RecordForm.RAW:
-                base_content = rec.payload
+                base_content = payload
             else:
-                insts = deserialize(rec.payload)
+                insts = deserialize(payload)
                 base_content = apply_delta(base_content, insts)
             contents[rec.record_id] = base_content
             # §4.1: decoded bases go through the source record cache, so a
@@ -370,8 +419,107 @@ class Database:
         return result, latency
 
     def _charge_read(self, nbytes: int, foreground: bool) -> float:
-        wait = self.disk.read(nbytes)
+        wait = self._disk_request("read", nbytes)
         return wait if foreground else 0.0
+
+    def _disk_request(self, kind: str, nbytes: int) -> float:
+        """Submit one disk request, retrying transient fault injections.
+
+        Transient errors back off exponentially (the backoff is charged
+        as extra latency). After :data:`IO_RETRY_LIMIT` failures the
+        request is abandoned — only simulated accounting is lost, the
+        in-memory data structures are already consistent.
+        """
+        delay = 0.0
+        for attempt in range(IO_RETRY_LIMIT):
+            try:
+                return delay + self.disk.submit(kind, nbytes)
+            except TransientIOError:
+                self.io_retries += 1
+                delay += IO_RETRY_BACKOFF_S * (2**attempt)
+        self.io_failures += 1
+        return delay
+
+    # -- page checksums and quarantine (fault tolerance) -------------------------
+
+    def _note_checksum(self, record: StoredRecord) -> None:
+        """Record the checksum written alongside a (re)written payload."""
+        self._checksums[record.record_id] = crc32(record.payload)
+        self.quarantine.discard(record.record_id)
+
+    def _read_payload(self, record: StoredRecord) -> bytes:
+        """A record's payload as read from storage, checksum-verified.
+
+        The fault injector may corrupt the returned bytes. A mismatch
+        against the stored checksum triggers one re-read: if the storage
+        copy still verifies, the corruption was transient (a bad DMA, a
+        bit flip on the wire) and the clean bytes are returned. If the
+        storage copy itself is corrupt, the record is quarantined and the
+        read fails — the repair path must restore it from a replica.
+        """
+        payload = record.payload
+        if self.fault_injector is not None:
+            payload = self.fault_injector.on_page_read(self, record, payload)
+        expected = self._checksums.get(record.record_id)
+        if expected is None or crc32(payload) == expected:
+            return payload
+        self.corrupt_reads_detected += 1
+        if crc32(record.payload) == expected:
+            # Transient read-path corruption: the re-read heals it.
+            self.corrupt_reads_recovered += 1
+            self._charge_read(record.stored_size, foreground=False)
+            return record.payload
+        self.quarantine.add(record.record_id)
+        raise CorruptPage(record.record_id)
+
+    def verify_checksums(self) -> list[str]:
+        """Scrub pass: verify every stored payload against its checksum.
+
+        Corrupt records are quarantined and returned; the caller repairs
+        them from a healthy replica (``Cluster.repair_record``).
+        """
+        corrupt = []
+        for record_id, record in self.records.items():
+            expected = self._checksums.get(record_id)
+            if expected is not None and crc32(record.payload) != expected:
+                self.quarantine.add(record_id)
+                corrupt.append(record_id)
+        return corrupt
+
+    def dependents_of(self, record_id: str) -> list[str]:
+        """Records whose stored delta decodes directly from ``record_id``."""
+        return [
+            other_id
+            for other_id, other in self.records.items()
+            if other.base_id == record_id
+        ]
+
+    def restore_record_raw(self, record_id: str, content: bytes) -> bool:
+        """Repair a quarantined record: rewrite it raw with known-good bytes.
+
+        Used by the quarantine path after corruption. The record leaves
+        its encoding chain (its old base reference is released) and any
+        pending write-back for it is invalidated — compression is lost,
+        data is not. Returns False when the record no longer exists.
+        """
+        record = self.records.get(record_id)
+        if record is None:
+            return False
+        self.writeback_cache.invalidate(record_id)
+        if self.record_cache is not None:
+            self.record_cache.invalidate(record_id)
+        old_base = record.base_id
+        record.form = RecordForm.RAW
+        record.payload = content
+        record.base_id = None
+        record.raw_size = len(content)
+        record.pending_updates.clear()
+        self.pages.update(record_id, content)
+        self._note_checksum(record)
+        self._disk_request("write", len(content))
+        if old_base is not None:
+            self._release_base(old_base)
+        return True
 
     def _gc_along_path(
         self, chain: list[StoredRecord], contents: dict[str, bytes]
@@ -398,7 +546,8 @@ class Database:
             dependent.base_id = grandbase.record_id
             grandbase.ref_count += 1
             self.pages.update(dependent.record_id, self._disk_image(dependent))
-            self.disk.submit("write", len(dependent.payload))
+            self._note_checksum(dependent)
+            self._disk_request("write", len(dependent.payload))
             middle.ref_count -= 1
             self.gc_splices += 1
             if middle.ref_count <= 0:
@@ -417,6 +566,8 @@ class Database:
         """Physically remove a record and release its own base."""
         self.pages.remove(record.record_id)
         self.records.pop(record.record_id, None)
+        self._checksums.pop(record.record_id, None)
+        self.quarantine.discard(record.record_id)
         if self.record_cache is not None:
             self.record_cache.invalidate(record.record_id)
         if record.base_id is not None:

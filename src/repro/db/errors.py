@@ -25,3 +25,16 @@ class RecordExists(DatabaseError):
 
 class CorruptChain(DatabaseError):
     """A decode walk failed: dangling base pointer or cycle."""
+
+
+class CorruptPage(DatabaseError):
+    """A record's stored bytes failed checksum verification.
+
+    Raised when a read detects persistent corruption (the storage copy
+    itself no longer matches its checksum). The record is quarantined on
+    its database; the repair path restores it from a healthy replica.
+    """
+
+    def __init__(self, record_id: str) -> None:
+        super().__init__(f"record {record_id!r} failed page checksum")
+        self.record_id = record_id

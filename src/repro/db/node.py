@@ -50,24 +50,95 @@ class PrimaryNode:
         self.dedup_enabled = dedup_enabled
         self.inline_block_compression = inline_block_compression
         self.use_writeback_cache = use_writeback_cache
+        self._block_compressor = block_compressor
+        self._page_size = page_size
+        self._physical_storage = physical_storage
         self.engine = (
             DedupEngine(self.config, self.costs) if dedup_enabled else None
         )
-        disk = SimDisk(clock, self.costs)
-        self.db = Database(
-            clock=clock,
+        self.db = self._build_database()
+        self.oplog = Oplog()
+        self.background_cpu_seconds = 0.0
+        self.crashes = 0
+        self._crashed = False
+
+    def _build_database(self, disk: SimDisk | None = None) -> Database:
+        """Wire a fresh record store (initial boot and post-crash restart)."""
+        disk = disk if disk is not None else SimDisk(self.clock, self.costs)
+        return Database(
+            clock=self.clock,
             disk=disk,
-            page_size=page_size,
-            block_compressor=block_compressor,
+            page_size=self._page_size,
+            block_compressor=self._block_compressor,
             writeback_capacity=self.config.writeback_cache_bytes,
             record_cache=self.engine.source_cache if self.engine else None,
             idle_queue_threshold=self.config.idle_queue_threshold,
-            page_store=_physical_store(page_size, block_compressor, disk)
-            if physical_storage
+            page_store=_physical_store(
+                self._page_size, self._block_compressor, disk
+            )
+            if self._physical_storage
             else None,
+            node_role="primary",
         )
-        self.oplog = Oplog()
-        self.background_cpu_seconds = 0.0
+
+    # -- crash/recovery (§4.4) ------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulated process crash: volatile state (record store, engine
+        index, write-back cache) is lost; the oplog — the write-ahead
+        record of every accepted operation — survives on durable storage.
+        Call :meth:`restart` to recover."""
+        self.crashes += 1
+        self._crashed = True
+
+    def restart(self, snapshot_path=None):
+        """Recover from a crash by replaying the oplog.
+
+        Rebuilds the record store by replaying every retained oplog entry
+        (optionally seeded from a checkpoint snapshot when earlier history
+        was truncated) — everything lands raw and re-compresses over time,
+        losing nothing but transient disk space. The dedup engine is then
+        rebuilt and its feature index repopulated from the recovered
+        records in original insert order, so the restarted node finds
+        similar records exactly as the pre-crash node would have.
+
+        Returns the :class:`~repro.db.recovery.ReplayReport`.
+
+        Raises:
+            ValueError: when the oplog was truncated at a checkpoint and
+                no snapshot is given — the lost history is unrecoverable
+                from the log alone.
+        """
+        from repro.db.recovery import replay_oplog
+
+        if self.oplog.truncated_before > 0 and snapshot_path is None:
+            raise ValueError(
+                "oplog history was truncated at a checkpoint; restart "
+                "needs the checkpoint snapshot"
+            )
+        fault_injector = self.db.fault_injector
+        disk = self.db.disk  # the device outlives the process
+        if self.dedup_enabled:
+            self.engine = DedupEngine(self.config, self.costs)
+        db = self._build_database(disk)
+        db.fault_injector = fault_injector
+        if snapshot_path is not None:
+            from repro.db.snapshot import load_snapshot
+
+            load_snapshot(snapshot_path, into=db)
+        _, report = replay_oplog(self.oplog.entries(), into=db)
+        self.db = db
+        if self.engine is not None:
+            order: list[str] = []
+            seen: set[str] = set()
+            for entry in self.oplog.entries():
+                if entry.op == "insert" and entry.record_id not in seen:
+                    seen.add(entry.record_id)
+                    order.append(entry.record_id)
+            order = sorted(set(db.records) - seen) + order
+            self.engine.rebuild_from(db, order=order)
+        self._crashed = False
+        return report
 
     # -- client operations (return the latency the client observes) ----------
 
@@ -242,31 +313,80 @@ class SecondaryNode:
         self.clock = clock
         self.costs = costs if costs is not None else CostModel()
         self.config = config if config is not None else DedupConfig()
+        self.dedup_enabled = dedup_enabled
+        self._block_compressor = block_compressor
+        self._page_size = page_size
+        self._physical_storage = physical_storage
         self.reencoder = (
             SecondaryReencoder(self.config, self.costs) if dedup_enabled else None
         )
-        disk = SimDisk(clock, self.costs)
-        self.db = Database(
-            clock=clock,
+        self.db = self._build_database()
+        self.oplog = Oplog()
+        self.background_cpu_seconds = 0.0
+        self.decode_fallbacks = 0
+        self.crashes = 0
+        self._crashed = False
+
+    def _build_database(self, disk: SimDisk | None = None) -> Database:
+        """Wire a fresh record store (initial boot and post-crash restart)."""
+        disk = disk if disk is not None else SimDisk(self.clock, self.costs)
+        return Database(
+            clock=self.clock,
             disk=disk,
-            page_size=page_size,
-            block_compressor=block_compressor,
+            page_size=self._page_size,
+            block_compressor=self._block_compressor,
             writeback_capacity=self.config.writeback_cache_bytes,
             record_cache=(
                 self.reencoder.planner.source_cache if self.reencoder else None
             ),
             idle_queue_threshold=self.config.idle_queue_threshold,
-            page_store=_physical_store(page_size, block_compressor, disk)
-            if physical_storage
+            page_store=_physical_store(
+                self._page_size, self._block_compressor, disk
+            )
+            if self._physical_storage
             else None,
+            node_role="secondary",
         )
-        self.oplog = Oplog()
-        self.background_cpu_seconds = 0.0
-        self.decode_fallbacks = 0
+
+    # -- crash/recovery (§4.4) ------------------------------------------------
+
+    def crash(self) -> None:
+        """Simulated process crash; the replica's own oplog survives."""
+        self.crashes += 1
+        self._crashed = True
+
+    def restart(self):
+        """Recover by replaying the replica's local oplog.
+
+        The secondary appends every shipped entry to its own log before
+        applying it, so replaying that log (forward deltas decode against
+        already-replayed bases, the same path the live replica uses)
+        reconverges it to the pre-crash client-visible state. A fresh
+        re-encoder starts with empty chain bookkeeping: subsequent
+        encoded entries simply start new chains, which changes storage
+        forms but never contents.
+
+        Returns the :class:`~repro.db.recovery.ReplayReport`.
+        """
+        from repro.db.recovery import replay_oplog
+
+        fault_injector = self.db.fault_injector
+        disk = self.db.disk
+        if self.dedup_enabled:
+            self.reencoder = SecondaryReencoder(self.config, self.costs)
+        db = self._build_database(disk)
+        db.fault_injector = fault_injector
+        _, report = replay_oplog(self.oplog.entries(), into=db)
+        self.db = db
+        self._crashed = False
+        return report
 
     def apply_batch(self, entries: list[OplogEntry], primary: PrimaryNode) -> None:
         """Replay one replication batch (§4.1 secondary-side flow)."""
         for entry in entries:
+            if entry.op == "insert":
+                self._apply_insert(entry, primary)
+                continue
             self.oplog.append(
                 entry.timestamp,
                 entry.op,
@@ -276,16 +396,22 @@ class SecondaryNode:
                 base_id=entry.base_id,
                 encoded=entry.encoded,
             )
-            if entry.op == "insert":
-                self._apply_insert(entry, primary)
-            elif entry.op == "update":
+            if entry.op == "update":
                 self.db.update(entry.record_id, entry.payload)
             elif entry.op == "delete":
                 self.db.delete(entry.record_id)
         self.db.flush_writebacks_if_idle()
 
     def _apply_insert(self, entry: OplogEntry, primary: PrimaryNode) -> None:
+        # The local oplog records each insert *as applied* (encoded only
+        # when the forward delta actually decoded here), so a post-crash
+        # replay of the local log never depends on a base this replica
+        # never had.
         if not entry.encoded or self.reencoder is None:
+            self.oplog.append(
+                entry.timestamp, "insert", entry.database, entry.record_id,
+                payload=entry.payload,
+            )
             self.db.insert(entry.database, entry.record_id, entry.payload)
             if self.reencoder is not None:
                 self.reencoder.apply_raw(entry.record_id, entry.payload)
@@ -300,8 +426,16 @@ class SecondaryNode:
             content, _ = primary.db.read(entry.database, entry.record_id)
             if content is None:
                 return
+            self.oplog.append(
+                entry.timestamp, "insert", entry.database, entry.record_id,
+                payload=content,
+            )
             self.db.insert(entry.database, entry.record_id, content)
             return
+        self.oplog.append(
+            entry.timestamp, "insert", entry.database, entry.record_id,
+            payload=entry.payload, base_id=entry.base_id, encoded=True,
+        )
         self.background_cpu_seconds += outcome.cpu_seconds
         self.db.insert(entry.database, entry.record_id, outcome.content)
         self.db.schedule_writebacks(outcome.writebacks)

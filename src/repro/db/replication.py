@@ -9,10 +9,19 @@ from __future__ import annotations
 
 from repro.compression.block import BlockCompressor
 from repro.db.node import PrimaryNode, SecondaryNode
+from repro.sim.faults import DeliveryFault
 from repro.sim.network import SimNetwork
 
 #: Default batch threshold: ship once 256 KiB of oplog is pending.
 DEFAULT_BATCH_BYTES = 256 * 1024
+
+#: Delivery attempts per sync before giving up and leaving the batch
+#: pending (it is resent by the next sync — the cursor only advances on
+#: confirmed delivery, so shipping is at-least-once and loss-free).
+DEFAULT_MAX_ATTEMPTS = 5
+
+#: Base backoff between delivery retries; doubles per attempt.
+DEFAULT_RETRY_BACKOFF_S = 0.01
 
 
 class ReplicationLink:
@@ -31,17 +40,30 @@ class ReplicationLink:
         network: SimNetwork,
         batch_bytes: int = DEFAULT_BATCH_BYTES,
         batch_compressor: BlockCompressor | None = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
     ) -> None:
         if batch_bytes < 1:
             raise ValueError(f"batch_bytes must be >= 1, got {batch_bytes}")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.primary = primary
         self.secondary = secondary
         self.network = network
         self.batch_bytes = batch_bytes
         self.batch_compressor = batch_compressor
+        self.max_attempts = max_attempts
+        self.retry_backoff_s = retry_backoff_s
         self.batches_shipped = 0
         #: Wire bytes before batch compression (what dedup alone achieves).
         self.uncompressed_bytes = 0
+        #: Delivery attempts that failed (each is retried or resent).
+        self.delivery_failures = 0
+        #: Syncs that exhausted their attempts; the batch stayed pending.
+        self.failed_syncs = 0
+        #: Successful syncs that had to resend after a failed one.
+        self.resends = 0
+        self._last_sync_failed = False
         # Per-link oplog cursor: several links can fan the same log out to
         # several secondaries independently.
         self._cursor = 0
@@ -59,18 +81,41 @@ class ReplicationLink:
         return True
 
     def sync(self) -> int:
-        """Ship everything pending; returns the batch's wire bytes."""
+        """Ship everything pending; returns the batch's delivered wire bytes.
+
+        Delivery is retried with exponential backoff when the network
+        drops the message (fault injection). The cursor advances only
+        after confirmed delivery, so a batch that exhausts its attempts
+        simply stays pending and is resent wholesale by the next sync —
+        at-least-once shipping, never data loss.
+        """
         batch = self.primary.oplog.entries_since(self._cursor)
         if not batch:
             return 0
-        self._cursor = batch[-1].seq + 1
-        wire_bytes = sum(entry.wire_size for entry in batch)
-        self.uncompressed_bytes += wire_bytes
+        raw_bytes = sum(entry.wire_size for entry in batch)
+        wire_bytes = raw_bytes
         if self.batch_compressor is not None:
             image = b"".join(entry.payload for entry in batch)
             headers = len(batch) * 32
             wire_bytes = len(self.batch_compressor.compress(image)) + headers
-        self.network.transfer(wire_bytes)
+        for attempt in range(self.max_attempts):
+            try:
+                self.network.transfer(wire_bytes)
+                break
+            except DeliveryFault:
+                self.delivery_failures += 1
+                self.network.clock.advance(
+                    self.retry_backoff_s * (2**attempt)
+                )
+        else:
+            self.failed_syncs += 1
+            self._last_sync_failed = True
+            return 0
+        if self._last_sync_failed:
+            self.resends += 1
+            self._last_sync_failed = False
+        self._cursor = batch[-1].seq + 1
+        self.uncompressed_bytes += raw_bytes
         self.secondary.apply_batch(batch, self.primary)
         self.batches_shipped += 1
         return wire_bytes

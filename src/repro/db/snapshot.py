@@ -118,6 +118,7 @@ def load_database(blob: bytes, into: Database | None = None) -> Database:
         )
         db.records[record.record_id] = record
         db.pages.place(record.record_id, db._disk_image(record))
+        db._note_checksum(record)
     if pos != len(blob):
         raise ValueError("trailing bytes after snapshot records")
     return db

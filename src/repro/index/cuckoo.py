@@ -172,6 +172,19 @@ class CuckooFeatureIndex:
         for entry in matches:
             entry.last_used = self._clock
 
+    def record_ids(self) -> set[Hashable]:
+        """Every record currently referenced by at least one entry.
+
+        Used by the cluster invariant checker to assert index liveness:
+        entries may only point at live records. O(buckets) — scrub-path
+        only, never on the insert path.
+        """
+        return {
+            entry.record
+            for bucket in self._buckets
+            for entry in bucket.slots
+        }
+
     def remove_record(self, record: Hashable) -> int:
         """Remove every entry pointing at ``record``; returns entries removed."""
         removed = 0

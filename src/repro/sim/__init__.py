@@ -11,6 +11,27 @@ on/off — which is what the paper's performance claims are about.
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.disk import SimDisk
+from repro.sim.faults import (
+    CorruptPageReads,
+    CrashNode,
+    DeliveryFault,
+    DropBatches,
+    FaultPlan,
+    TransientIOError,
+    TransientIOErrors,
+)
 from repro.sim.network import SimNetwork
 
-__all__ = ["SimClock", "CostModel", "SimDisk", "SimNetwork"]
+__all__ = [
+    "SimClock",
+    "CostModel",
+    "SimDisk",
+    "SimNetwork",
+    "FaultPlan",
+    "DropBatches",
+    "TransientIOErrors",
+    "CorruptPageReads",
+    "CrashNode",
+    "DeliveryFault",
+    "TransientIOError",
+]

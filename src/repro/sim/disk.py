@@ -41,6 +41,10 @@ class SimDisk:
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        #: Optional fault hook ``(kind, nbytes) -> None``; may raise
+        #: :class:`repro.sim.faults.TransientIOError`, in which case the
+        #: request never enters the queue and the caller must retry.
+        self.interceptor = None
 
     def _reap(self) -> None:
         now = self.clock.now
@@ -66,6 +70,8 @@ class SimDisk:
             raise ValueError(f"unknown disk request kind {kind!r}")
         if nbytes < 0:
             raise ValueError(f"negative request size {nbytes}")
+        if self.interceptor is not None:
+            self.interceptor(kind, nbytes)
         self._reap()
         now = self.clock.now
         start = max(now, self._busy_until)

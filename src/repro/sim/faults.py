@@ -1,0 +1,308 @@
+"""Deterministic fault injection for the simulated cluster.
+
+dbDedup's correctness argument (§4.1, §4.4) is that every piece of the
+lossy machinery degrades gracefully: dropped write-backs cost compression,
+never data; a lost oplog shipment is resent; a crashed node replays its
+log; a corrupt page is detected by checksum and repaired from a healthy
+replica. This module turns those failure modes into a reusable, *seeded*
+chaos layer so every test (and the CLI) can exercise them reproducibly.
+
+A :class:`FaultPlan` is a seed plus a list of declarative fault rules:
+
+* :class:`DropBatches` — replication batches fail delivery (every N-th
+  message, or with probability p). The link's retry/backoff/resend path
+  must absorb them.
+* :class:`TransientIOErrors` — simulated disk requests raise
+  :class:`TransientIOError`; the database retries with backoff.
+* :class:`CorruptPageReads` — bytes flip in page reads with probability p.
+  Transient flips are healed by the checksum-verify-and-reread path;
+  ``sticky`` flips persist in storage, land the record in quarantine, and
+  must be repaired from a peer replica (:meth:`Cluster.scrub`).
+* :class:`CrashNode` — a node crashes after N oplog appends and (by
+  default) restarts from its oplog, exercising recovery + index rebuild.
+
+Every random decision comes from one ``random.Random(seed)``, so a plan's
+``repr`` is enough to reproduce a failure exactly — CI uploads it as an
+artifact when a chaos test fails.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+#: Cap on retained event-log lines (plans on long runs stay bounded).
+MAX_EVENTS = 2000
+
+
+class TransientIOError(Exception):
+    """A simulated disk request failed transiently; the caller may retry."""
+
+
+class DeliveryFault(Exception):
+    """A network transfer was lost in flight; the sender must resend."""
+
+
+@dataclass(frozen=True)
+class DropBatches:
+    """Drop replication-batch deliveries.
+
+    Attributes:
+        every: drop every N-th message crossing the link (1-based count).
+        probability: independently drop each message with this probability.
+        limit: stop injecting after this many drops (None = unlimited).
+    """
+
+    every: int | None = None
+    probability: float | None = None
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.every is None and self.probability is None:
+            raise ValueError("DropBatches needs 'every' or 'probability'")
+        if self.every is not None and self.every < 1:
+            raise ValueError(f"every must be >= 1, got {self.every}")
+
+
+@dataclass(frozen=True)
+class TransientIOErrors:
+    """Raise :class:`TransientIOError` from disk requests with probability p.
+
+    Attributes:
+        probability: per-request failure probability.
+        kinds: which request kinds fail ("read", "write").
+        node: "primary", "secondary", or "any".
+        limit: stop injecting after this many errors (None = unlimited).
+    """
+
+    probability: float = 0.01
+    kinds: tuple[str, ...] = ("read", "write")
+    node: str = "any"
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class CorruptPageReads:
+    """Flip bytes in record-payload reads with probability p.
+
+    Attributes:
+        probability: per-read corruption probability.
+        sticky: when True the flipped bytes are written back to storage
+            (latent sector corruption); detection then requires the
+            checksum scrub + peer repair path. When False the corruption
+            is transient and a re-read heals it.
+        node: "primary", "secondary", or "any".
+        limit: stop injecting after this many corruptions.
+    """
+
+    probability: float = 0.01
+    sticky: bool = False
+    node: str = "any"
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class CrashNode:
+    """Crash a node once its oplog reaches ``after_appends`` entries.
+
+    Attributes:
+        node: "primary" or "secondary".
+        after_appends: absolute oplog sequence that triggers the crash.
+        restart: when True (default) the node immediately restarts from
+            its oplog (crash-recover); when False it stays down until the
+            test restarts it explicitly.
+    """
+
+    node: str = "primary"
+    after_appends: int = 100
+    restart: bool = True
+
+    def __post_init__(self) -> None:
+        if self.node not in ("primary", "secondary"):
+            raise ValueError(f"node must be primary|secondary, got {self.node!r}")
+        if self.after_appends < 1:
+            raise ValueError(
+                f"after_appends must be >= 1, got {self.after_appends}"
+            )
+
+
+FaultRule = DropBatches | TransientIOErrors | CorruptPageReads | CrashNode
+
+
+class FaultPlan:
+    """A seeded schedule of faults, installable on a cluster.
+
+    Usage::
+
+        plan = FaultPlan(seed=7, rules=[DropBatches(every=3)])
+        plan.install(cluster)
+        cluster.run(trace)
+        check_cluster(cluster)   # suspends the plan while checking
+
+    The plan wires itself into the cluster's network, every node's disk
+    and database, and the cluster's per-operation hook (for crash rules).
+    ``repr(plan)`` reconstructs the plan exactly (same seed, same rules),
+    which is what chaos CI uploads on failure.
+    """
+
+    def __init__(self, seed: int = 0, rules: Sequence[FaultRule] = ()) -> None:
+        self.seed = seed
+        self.rules = tuple(rules)
+        self.rng = random.Random(seed)
+        self.active = True
+        self.events: list[str] = []
+        self.injected = 0
+        self._counts: dict[int, int] = {}
+        self._crashed_rules: set[int] = set()
+
+    def __repr__(self) -> str:
+        rules = ", ".join(repr(rule) for rule in self.rules)
+        return f"FaultPlan(seed={self.seed}, rules=[{rules}])"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def install(self, cluster) -> None:
+        """Wire the plan into a cluster's fault hooks."""
+        cluster.fault_plan = self
+        cluster.network.interceptor = self.on_transfer
+        for node in [cluster.primary, *cluster.secondaries]:
+            node.db.fault_injector = self
+            node.db.disk.interceptor = self._disk_interceptor(node.db)
+
+    def uninstall(self, cluster) -> None:
+        """Remove the plan's hooks from a cluster."""
+        if getattr(cluster, "fault_plan", None) is self:
+            cluster.fault_plan = None
+        if cluster.network.interceptor == self.on_transfer:
+            cluster.network.interceptor = None
+        for node in [cluster.primary, *cluster.secondaries]:
+            if node.db.fault_injector is self:
+                node.db.fault_injector = None
+                node.db.disk.interceptor = None
+
+    def suspend(self) -> bool:
+        """Stop injecting (hooks stay installed); returns the prior state."""
+        was_active, self.active = self.active, False
+        return was_active
+
+    def resume(self) -> None:
+        """Start injecting again after :meth:`suspend`."""
+        self.active = True
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _spent(self, rule_index: int, limit: int | None) -> bool:
+        """True when a rule's injection budget is exhausted."""
+        return limit is not None and self._counts.get(rule_index, 0) >= limit
+
+    def _note(self, rule_index: int, message: str) -> None:
+        self._counts[rule_index] = self._counts.get(rule_index, 0) + 1
+        self.injected += 1
+        if len(self.events) < MAX_EVENTS:
+            self.events.append(message)
+
+    # -- injection hooks ---------------------------------------------------
+
+    def on_transfer(self, message_index: int, nbytes: int) -> None:
+        """Network hook: may raise :class:`DeliveryFault` to drop a message."""
+        if not self.active:
+            return
+        for rule_index, rule in enumerate(self.rules):
+            if not isinstance(rule, DropBatches):
+                continue
+            if self._spent(rule_index, rule.limit):
+                continue
+            hit = False
+            if rule.every is not None and message_index % rule.every == 0:
+                hit = True
+            if rule.probability is not None and self.rng.random() < rule.probability:
+                hit = True
+            if hit:
+                self._note(
+                    rule_index,
+                    f"drop message={message_index} bytes={nbytes} rule={rule!r}",
+                )
+                raise DeliveryFault(
+                    f"batch delivery dropped (message {message_index})"
+                )
+
+    def _disk_interceptor(self, db):
+        """Per-database disk hook: may raise :class:`TransientIOError`."""
+
+        def interceptor(kind: str, nbytes: int) -> None:
+            if not self.active:
+                return
+            role = getattr(db, "node_role", "node")
+            for rule_index, rule in enumerate(self.rules):
+                if not isinstance(rule, TransientIOErrors):
+                    continue
+                if rule.node != "any" and rule.node != role:
+                    continue
+                if kind not in rule.kinds or self._spent(rule_index, rule.limit):
+                    continue
+                if self.rng.random() < rule.probability:
+                    self._note(
+                        rule_index,
+                        f"io-error node={role} kind={kind} bytes={nbytes}",
+                    )
+                    raise TransientIOError(f"transient {kind} error ({role})")
+
+        return interceptor
+
+    def on_page_read(self, db, record, payload: bytes) -> bytes:
+        """Database hook: return the (possibly corrupted) bytes of a read.
+
+        Sticky corruption also rewrites the stored payload, so the
+        checksum mismatch persists until the record is repaired.
+        """
+        if not self.active or not payload:
+            return payload
+        role = getattr(db, "node_role", "node")
+        for rule_index, rule in enumerate(self.rules):
+            if not isinstance(rule, CorruptPageReads):
+                continue
+            if rule.node != "any" and rule.node != role:
+                continue
+            if self._spent(rule_index, rule.limit):
+                continue
+            if self.rng.random() >= rule.probability:
+                continue
+            corrupted = bytearray(payload)
+            for _ in range(self.rng.randint(1, 3)):
+                position = self.rng.randrange(len(corrupted))
+                corrupted[position] ^= 1 + self.rng.randrange(255)
+            corrupted_bytes = bytes(corrupted)
+            self._note(
+                rule_index,
+                f"corrupt node={role} record={record.record_id} "
+                f"sticky={rule.sticky}",
+            )
+            if rule.sticky:
+                record.payload = corrupted_bytes
+            return corrupted_bytes
+        return payload
+
+    def after_operation(self, cluster) -> None:
+        """Cluster hook: fire pending crash rules after a client op."""
+        if not self.active:
+            return
+        for rule_index, rule in enumerate(self.rules):
+            if not isinstance(rule, CrashNode):
+                continue
+            if rule_index in self._crashed_rules:
+                continue
+            node = (
+                cluster.primary if rule.node == "primary" else cluster.secondary
+            )
+            if node.oplog.next_seq < rule.after_appends:
+                continue
+            self._crashed_rules.add(rule_index)
+            self._note(
+                rule_index,
+                f"crash node={rule.node} at seq={node.oplog.next_seq} "
+                f"restart={rule.restart}",
+            )
+            node.crash()
+            if rule.restart:
+                node.restart()

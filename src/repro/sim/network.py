@@ -2,7 +2,11 @@
 
 Fig. 11's network-compression numbers come straight from this component's
 byte counters — the bytes that would have crossed the wire, with and
-without forward-encoded oplog entries.
+without forward-encoded oplog entries. Attempted and delivered traffic
+are counted separately: a batch dropped by fault injection consumes
+``bytes_sent`` (the sender paid for it) but not ``bytes_delivered`` (the
+receiver never saw it), and the figure accounting reads the latter so
+retried batches are not double-counted.
 """
 
 from __future__ import annotations
@@ -17,13 +21,38 @@ class SimNetwork:
     def __init__(self, clock: SimClock, costs: CostModel | None = None) -> None:
         self.clock = clock
         self.costs = costs if costs is not None else CostModel()
+        #: Transfer attempts (including ones that failed delivery).
         self.messages = 0
+        #: Bytes of all transfer attempts.
         self.bytes_sent = 0
+        #: Successfully delivered messages / bytes.
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+        #: Messages lost to fault injection.
+        self.messages_dropped = 0
+        #: Optional fault hook ``(message_index, nbytes) -> None``; may
+        #: raise :class:`repro.sim.faults.DeliveryFault` to drop the
+        #: message (see :class:`repro.sim.faults.FaultPlan`).
+        self.interceptor = None
 
     def transfer(self, nbytes: int) -> float:
-        """Account one message; returns its simulated transfer time."""
+        """Attempt one message; returns its simulated transfer time.
+
+        Raises:
+            DeliveryFault: when an installed fault interceptor drops the
+                message. The bytes still count as sent — the sender spent
+                the bandwidth — but not as delivered.
+        """
         if nbytes < 0:
             raise ValueError(f"negative message size {nbytes}")
         self.messages += 1
         self.bytes_sent += nbytes
+        if self.interceptor is not None:
+            try:
+                self.interceptor(self.messages, nbytes)
+            except Exception:
+                self.messages_dropped += 1
+                raise
+        self.messages_delivered += 1
+        self.bytes_delivered += nbytes
         return self.costs.network_time(nbytes)

@@ -75,3 +75,76 @@ class TestReplay:
         recovered, report = replay_oplog(entries)
         assert report.decode_failures == 1
         assert len(recovered.records) == 0
+
+
+class TestReplayReportPaths:
+    """Every skipped / decode-failure branch of ``replay_oplog``."""
+
+    def test_garbage_delta_payload_is_a_decode_failure(self):
+        entries = [
+            OplogEntry(0, 0.0, "insert", "db", "base", payload=b"base bytes"),
+            OplogEntry(1, 0.0, "insert", "db", "child",
+                       payload=b"\xff\xff not a delta", base_id="base",
+                       encoded=True),
+        ]
+        recovered, report = replay_oplog(entries)
+        assert report.decode_failures == 1
+        assert report.applied == 1
+        content, _ = recovered.read("db", "base")
+        assert content == b"base bytes"
+        assert "child" not in recovered.records
+
+    def test_duplicate_insert_is_skipped_not_fatal(self):
+        entries = [
+            OplogEntry(0, 0.0, "insert", "db", "r", payload=b"first"),
+            OplogEntry(1, 0.0, "insert", "db", "r", payload=b"second"),
+        ]
+        recovered, report = replay_oplog(entries)
+        assert report.applied == 1
+        assert report.skipped == 1
+        content, _ = recovered.read("db", "r")
+        assert content == b"first"
+
+    def test_unknown_op_is_skipped(self):
+        entries = [OplogEntry(0, 0.0, "noop", "db", "r", payload=b"")]
+        _, report = replay_oplog(entries)
+        assert report.skipped == 1
+        assert report.applied == 0
+
+    def test_encoded_entry_decodes_against_into_database(self):
+        """A snapshot-seeded replay finds forward-delta bases in ``into``."""
+        from repro.db.database import Database
+        from repro.delta.dbdelta import DeltaCompressor
+        from repro.delta.instructions import serialize
+
+        base_content = b"the quick brown fox jumps over the lazy dog" * 8
+        child_content = base_content.replace(b"lazy", b"sleepy")
+        seeded = Database()
+        seeded.insert("db", "base", base_content)
+        forward = DeltaCompressor().compress(base_content, child_content)
+        entries = [
+            OplogEntry(0, 0.0, "insert", "db", "child",
+                       payload=serialize(forward), base_id="base",
+                       encoded=True),
+        ]
+        recovered, report = replay_oplog(entries, into=seeded)
+        assert report.decode_failures == 0
+        assert report.applied == 1
+        content, _ = recovered.read("db", "child")
+        assert content == child_content
+
+    def test_mixed_failures_still_salvage_the_rest(self):
+        entries = [
+            OplogEntry(0, 0.0, "insert", "db", "a", payload=b"alpha"),
+            OplogEntry(1, 0.0, "insert", "db", "b", payload=b"\x00",
+                       base_id="ghost", encoded=True),   # missing base
+            OplogEntry(2, 0.0, "delete", "db", "ghost"),  # missing target
+            OplogEntry(3, 0.0, "update", "db", "a", payload=b"alpha v2"),
+            OplogEntry(4, 0.0, "insert", "db", "a", payload=b"dup"),
+        ]
+        recovered, report = replay_oplog(entries)
+        assert report.applied == 2
+        assert report.skipped == 2
+        assert report.decode_failures == 1
+        content, _ = recovered.read("db", "a")
+        assert content == b"alpha v2"

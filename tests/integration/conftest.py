@@ -1,0 +1,50 @@
+"""Chaos-test support: record the failing FaultPlan as a CI artifact.
+
+Chaos tests register their :class:`~repro.sim.faults.FaultPlan` through
+the ``record_fault_plan`` fixture. When such a test fails, the plan's
+``repr`` (which reconstructs it exactly — same seed, same rules) and its
+event log are written to ``chaos-artifacts/<testname>.txt``; the CI
+workflow uploads that directory, so a red chaos run on a random seed is
+always reproducible locally.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from pathlib import Path
+
+import pytest
+
+ARTIFACT_DIR = Path(os.environ.get("CHAOS_ARTIFACT_DIR", "chaos-artifacts"))
+
+
+@pytest.fixture
+def record_fault_plan(request):
+    """Register a FaultPlan so a failure dumps it for reproduction."""
+
+    def _record(plan):
+        request.node._fault_plan = plan
+        return plan
+
+    return _record
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    plan = getattr(item, "_fault_plan", None)
+    if plan is None or report.when != "call" or not report.failed:
+        return
+    ARTIFACT_DIR.mkdir(parents=True, exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", item.nodeid)
+    lines = [
+        f"test: {item.nodeid}",
+        f"plan: {plan!r}",
+        f"injected: {plan.injected}",
+        "events:",
+        *(f"  {event}" for event in plan.events),
+        "",
+    ]
+    (ARTIFACT_DIR / f"{safe}.txt").write_text("\n".join(lines))

@@ -20,11 +20,16 @@ from hypothesis.stateful import (
 )
 
 from repro.cache.writeback import WriteBackEntry
+from repro.core.config import DedupConfig
+from repro.db.cluster import Cluster, ClusterConfig
 from repro.db.database import Database
 from repro.db.errors import RecordExists, RecordNotFound
+from repro.db.invariants import check_cluster
 from repro.delta.dbdelta import DeltaCompressor
 from repro.delta.instructions import serialize
+from repro.sim.faults import CorruptPageReads, FaultPlan, TransientIOErrors
 from repro.storage.heapfile import HeapFile
+from repro.workloads.base import Operation
 
 _COMPRESSOR = DeltaCompressor(anchor_interval=16)
 
@@ -168,6 +173,111 @@ class HeapFileMachine(RuleBasedStateMachine):
             assert self.heap.get(handle) == expected
 
 
+class ClusterFaultMachine(RuleBasedStateMachine):
+    """Cluster vs dict model with fault events interleaved into CRUD.
+
+    The machine keeps a live :class:`FaultPlan` injecting background
+    noise (transient I/O errors plus occasional sticky page corruption)
+    while rules insert, update, delete and read — and two extra rules
+    crash-and-restart either node mid-sequence. Reads go through the
+    cluster's repair path, so the model comparison holds even when a
+    read lands on a corrupted page. Every example tears down through a
+    strict :func:`check_cluster` sweep.
+    """
+
+    records = Bundle("records")
+
+    @initialize(seed=st.integers(0, 2**16))
+    def setup(self, seed) -> None:
+        self.cluster = Cluster(
+            ClusterConfig(
+                dedup=DedupConfig(chunk_size=64, size_filter_enabled=False),
+                oplog_batch_bytes=2048,
+            )
+        )
+        self.plan = FaultPlan(
+            seed=seed,
+            rules=[
+                TransientIOErrors(probability=0.02),
+                CorruptPageReads(probability=0.01, sticky=True),
+            ],
+        )
+        self.plan.install(self.cluster)
+        self.rng = random.Random(seed)
+        self.model: dict[str, bytes] = {}
+        self.counter = 0
+
+    def _content(self, size_hint: int) -> bytes:
+        words = [
+            f"tok{self.rng.randrange(150)}" for _ in range(40 + size_hint * 12)
+        ]
+        return " ".join(words).encode()
+
+    @rule(target=records, size_hint=st.integers(0, 5))
+    def insert(self, size_hint):
+        record_id = f"c{self.counter}"
+        self.counter += 1
+        content = self._content(size_hint)
+        self.cluster.execute(Operation("insert", "db", record_id, content))
+        self.model[record_id] = content
+        return record_id
+
+    @rule(record_id=records, size_hint=st.integers(0, 4))
+    def update(self, record_id, size_hint):
+        if record_id not in self.model:
+            return
+        content = self._content(size_hint) + b" v2"
+        self.cluster.execute(Operation("update", "db", record_id, content))
+        self.model[record_id] = content
+
+    @rule(record_id=records)
+    def delete(self, record_id):
+        if record_id not in self.model:
+            return
+        self.cluster.execute(Operation("delete", "db", record_id))
+        del self.model[record_id]
+
+    @rule(record_id=records)
+    def read(self, record_id):
+        content, _ = self.cluster.read("db", record_id)
+        assert content == self.model.get(record_id)
+
+    @rule()
+    def crash_primary(self):
+        self.cluster.primary.crash()
+        self.cluster.primary.restart()
+
+    @rule()
+    def crash_secondary(self):
+        self.cluster.secondary.crash()
+        self.cluster.secondary.restart()
+
+    @rule()
+    def scrub(self):
+        self.cluster.scrub()
+
+    @invariant()
+    def primary_serves_model(self):
+        # Cheap per-step probe: one modelled record read back exactly.
+        if not self.model:
+            return
+        record_id = sorted(self.model)[0]
+        content, _ = self.cluster.read("db", record_id)
+        assert content == self.model[record_id]
+
+    def teardown(self):
+        if not hasattr(self, "cluster"):
+            return  # example ended before initialize ran
+        report = check_cluster(self.cluster)
+        assert report.ok
+        # Direct db reads bypass the repair path, so stop injecting
+        # before the final byte comparison.
+        self.plan.suspend()
+        for record_id, expected in self.model.items():
+            content, _ = self.cluster.secondary.db.read("db", record_id)
+            assert content == expected
+
+
 TestDatabaseMachine = DatabaseMachine.TestCase
 TestDatabaseMachine.settings = settings(
     max_examples=25, stateful_step_count=30, deadline=None
@@ -175,4 +285,8 @@ TestDatabaseMachine.settings = settings(
 TestHeapFileMachine = HeapFileMachine.TestCase
 TestHeapFileMachine.settings = settings(
     max_examples=25, stateful_step_count=40, deadline=None
+)
+TestClusterFaultMachine = ClusterFaultMachine.TestCase
+TestClusterFaultMachine.settings = settings(
+    max_examples=10, stateful_step_count=15, deadline=None
 )

@@ -68,3 +68,42 @@ class TestCommands:
     def test_workloads_includes_extras(self, capsys):
         main(["workloads"])
         assert "oltp" in capsys.readouterr().out
+
+    def test_run_check_invariants(self, capsys):
+        assert main([
+            "run", "--workload", "enron", "--target-bytes", "120000",
+            "--check-invariants",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cluster invariants OK" in out
+
+    def test_trace_replay_check_invariants(self, capsys, tmp_path):
+        path = str(tmp_path / "t.trace")
+        assert main([
+            "trace-record", path, "--workload", "enron",
+            "--target-bytes", "60000", "--trace", "mixed",
+        ]) == 0
+        assert main(["trace-replay", path, "--check-invariants"]) == 0
+        out = capsys.readouterr().out
+        assert "cluster invariants OK" in out
+
+    def test_check_invariants_reports_violations(self, capsys, monkeypatch):
+        from repro.db.cluster import Cluster
+
+        original = Cluster.run
+
+        def sabotage(self, trace):
+            result = original(self, trace)
+            # Lose a replicated record behind the checker's back.
+            victim = next(iter(self.secondary.db.records))
+            del self.secondary.db.records[victim]
+            return result
+
+        monkeypatch.setattr(Cluster, "run", sabotage)
+        assert main([
+            "run", "--workload", "enron", "--target-bytes", "60000",
+            "--check-invariants",
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "cluster invariants FAILED" in out
+        assert "convergence" in out
