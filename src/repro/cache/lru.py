@@ -21,6 +21,9 @@ class LRUByteCache:
         self._used = 0
         self.hits = 0
         self.misses = 0
+        #: Entries pushed out by the byte budget (explicit ``pop`` calls
+        #: and same-key replacements do not count).
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -66,6 +69,7 @@ class LRUByteCache:
         while self._used > self.capacity_bytes:
             _, evicted = self._entries.popitem(last=False)
             self._used -= len(evicted)
+            self.evictions += 1
         return True
 
     def pop(self, key: str) -> bytes | None:

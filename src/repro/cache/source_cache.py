@@ -45,6 +45,11 @@ class SourceRecordCache:
         return self._lru.misses
 
     @property
+    def evictions(self) -> int:
+        """Entries the byte budget pushed out."""
+        return self._lru.evictions
+
+    @property
     def miss_ratio(self) -> float:
         """Fraction of lookups that missed (0.0 when never queried)."""
         return self._lru.miss_ratio

@@ -76,6 +76,9 @@ class LossyWriteBackCache:
         self.discarded = 0
         self.discarded_savings = 0
         self.flushed = 0
+        #: Entries removed because the record was updated/deleted or a
+        #: newer delta superseded them (distinct from capacity discards).
+        self.invalidated = 0
         #: Called with each entry discarded or invalidated (not flushed).
         self.on_drop = None
 
@@ -135,6 +138,7 @@ class LossyWriteBackCache:
         """
         entry = self._remove(record_id)
         if entry is not None:
+            self.invalidated += 1
             self._notify_drop(entry)
         return entry
 

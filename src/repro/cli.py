@@ -54,6 +54,23 @@ EXPERIMENTS = {
 }
 
 
+def _add_obs_arguments(command: argparse.ArgumentParser) -> None:
+    """Observability export flags shared by run/trace-replay/experiment."""
+    command.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the metrics registry snapshot (JSON) to PATH",
+    )
+    command.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable sim-clock tracing and write span trees (JSON) to PATH",
+    )
+    command.add_argument(
+        "--sample-every", default=None, metavar="SPEC",
+        help="time-series sampling cadence, e.g. '10s' (simulated "
+             "seconds) or '500ops' (client operations)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse command tree."""
     parser = argparse.ArgumentParser(
@@ -70,6 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="raw corpus size to synthesize")
     exp.add_argument("--batch-size", type=int, default=64,
                      help="insert batch size for pipeline-profile")
+    _add_obs_arguments(exp)
 
     run = sub.add_parser("run", help="run a workload through a cluster")
     run.add_argument("--workload", default="wikipedia",
@@ -94,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--check-invariants", action="store_true",
                      help="run the full cluster-invariant sweep after the "
                           "workload; non-zero exit on any violation")
+    _add_obs_arguments(run)
 
     sub.add_parser("workloads", help="list available dataset generators")
 
@@ -119,6 +138,14 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--check-invariants", action="store_true",
                         help="run the full cluster-invariant sweep after the "
                              "replay; non-zero exit on any violation")
+    _add_obs_arguments(replay)
+
+    check = sub.add_parser(
+        "check-metrics",
+        help="validate an exported metrics JSON file (schema + "
+             "reconciliation identities); non-zero exit on any problem",
+    )
+    check.add_argument("path", help="metrics JSON file to check")
 
     report = sub.add_parser(
         "report", help="run every experiment and write a markdown report"
@@ -138,10 +165,94 @@ def _run_invariant_sweep(cluster: Cluster) -> int:
     return 0 if report.ok else 1
 
 
+def _sample_cadence(args: argparse.Namespace) -> tuple[float | None, int | None]:
+    """Parse ``--sample-every`` into (seconds, ops), both None when unset."""
+    if not args.sample_every:
+        return None, None
+    from repro.obs import parse_sample_every
+
+    return parse_sample_every(args.sample_every)
+
+
+def _build_observed_cluster(
+    config: ClusterConfig, args: argparse.Namespace
+) -> Cluster:
+    """A cluster with tracing/sampling switched on per the obs flags."""
+    sample_s, sample_ops = _sample_cadence(args)
+    return Cluster(
+        config,
+        trace=args.trace_out is not None,
+        sample_every_s=sample_s,
+        sample_every_ops=sample_ops,
+    )
+
+
+def _export_observability(
+    cluster: Cluster, args: argparse.Namespace, meta: dict
+) -> None:
+    """Write the metrics/trace documents the obs flags asked for."""
+    if args.metrics_out:
+        from repro.obs import write_metrics_json
+
+        write_metrics_json(
+            args.metrics_out, cluster.registry,
+            sampler=cluster.sampler, meta=meta,
+        )
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.trace_out:
+        from repro.obs import write_trace_json
+
+        write_trace_json(args.trace_out, cluster.tracer)
+        print(f"wrote trace to {args.trace_out}")
+
+
 def command_experiment(args: argparse.Namespace) -> int:
-    """Run one experiment id and print its rendered result."""
-    result = EXPERIMENTS[args.id](args)
+    """Run one experiment id and print its rendered result.
+
+    With any observability flag set, an ambient capture collects every
+    cluster the experiment builds; the export then bundles one metrics
+    document per cluster (``repro.metrics-set/v1``).
+    """
+    if not (args.metrics_out or args.trace_out or args.sample_every):
+        result = EXPERIMENTS[args.id](args)
+        print(result.render())
+        return 0
+
+    from repro.obs import runtime as obs_runtime
+
+    sample_s, sample_ops = _sample_cadence(args)
+    with obs_runtime.capture(
+        trace=args.trace_out is not None,
+        sample_seconds=sample_s,
+        sample_ops=sample_ops,
+    ) as cap:
+        result = EXPERIMENTS[args.id](args)
     print(result.render())
+    if args.metrics_out:
+        from repro.obs import metrics_set_document, write_json
+
+        document = metrics_set_document(
+            [
+                (label, cluster.registry, cluster.sampler)
+                for label, cluster in cap.clusters
+            ],
+            meta={"experiment": args.id, "workload": args.workload},
+        )
+        write_json(args.metrics_out, document)
+        print(
+            f"wrote metrics for {len(cap.clusters)} runs to "
+            f"{args.metrics_out}"
+        )
+    if args.trace_out:
+        from repro.obs import trace_set_document, write_json
+
+        write_json(
+            args.trace_out,
+            trace_set_document(
+                [(label, cluster.tracer) for label, cluster in cap.clusters]
+            ),
+        )
+        print(f"wrote traces to {args.trace_out}")
     return 0
 
 
@@ -157,7 +268,7 @@ def command_run(args: argparse.Namespace) -> int:
         block_compression=args.block_compression,
         insert_batch_size=args.batch_size,
     )
-    cluster = Cluster(config)
+    cluster = _build_observed_cluster(config, args)
     workload = make_workload(args.workload, seed=args.seed,
                              target_bytes=args.target_bytes)
     trace = workload.insert_trace() if args.trace == "insert" else workload.mixed_trace()
@@ -178,9 +289,24 @@ def command_run(args: argparse.Namespace) -> int:
     print(f"latency p50/p99.9:  {result.latency_percentile(50) * 1e3:.2f} / "
           f"{result.latency_percentile(99.9) * 1e3:.2f} ms")
     print(f"replicas converged: {cluster.replicas_converged()}")
+    if cluster.primary.engine is not None:
+        source_cache = cluster.primary.engine.source_cache
+        print(f"source cache:       {source_cache.hits} hits / "
+              f"{source_cache.misses} misses / "
+              f"{source_cache.evictions} evictions")
+    writeback = cluster.primary.db.writeback_cache
+    print(f"write-back cache:   {writeback.flushed} flushed / "
+          f"{writeback.discarded} discarded / "
+          f"{writeback.invalidated} invalidated "
+          f"(savings lost {writeback.discarded_savings / 1e3:.1f} KB)")
     if args.stage_stats and cluster.primary.engine is not None:
         print()
         print(cluster.primary.engine.describe_pipeline())
+    _export_observability(
+        cluster, args,
+        meta={"command": "run", "workload": args.workload,
+              "seed": args.seed, "target_bytes": args.target_bytes},
+    )
     if args.check_invariants:
         return _run_invariant_sweep(cluster)
     return 0
@@ -219,14 +345,39 @@ def command_trace_replay(args: argparse.Namespace) -> int:
         dedup_enabled=not args.no_dedup,
         block_compression=args.block_compression,
     )
-    cluster = Cluster(config)
+    cluster = _build_observed_cluster(config, args)
     result = cluster.run(load_trace_file(args.path))
     print(f"replayed {result.operations} operations from {args.path}")
     print(f"storage: {result.storage_compression_ratio:.2f}x  "
           f"network: {result.network_compression_ratio:.2f}x  "
           f"converged: {cluster.replicas_converged()}")
+    _export_observability(
+        cluster, args, meta={"command": "trace-replay", "path": args.path},
+    )
     if args.check_invariants:
         return _run_invariant_sweep(cluster)
+    return 0
+
+
+def command_check_metrics(args: argparse.Namespace) -> int:
+    """Validate an exported metrics file; print problems, exit non-zero."""
+    import json
+
+    from repro.obs import check_metrics_payload
+
+    try:
+        with open(args.path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"cannot read {args.path}: {error}")
+        return 1
+    problems = check_metrics_payload(payload)
+    for problem in problems:
+        print(f"PROBLEM: {problem}")
+    if problems:
+        print(f"{args.path}: {len(problems)} problem(s)")
+        return 1
+    print(f"{args.path}: ok")
     return 0
 
 
@@ -252,6 +403,8 @@ def main(argv: list[str] | None = None) -> int:
         return command_trace_record(args)
     if args.command == "trace-replay":
         return command_trace_replay(args)
+    if args.command == "check-metrics":
+        return command_check_metrics(args)
     if args.command == "report":
         return command_report(args)
     return 1  # pragma: no cover — argparse enforces the choices

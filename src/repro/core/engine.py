@@ -38,6 +38,7 @@ from repro.core.selector import SourceSelector
 from repro.core.size_filter import AdaptiveSizeFilter
 from repro.core.stats import DedupStats
 from repro.index.cuckoo import CuckooFeatureIndex
+from repro.obs.registry import MetricsRegistry
 from repro.sim.costs import CostModel
 from repro.sketch.features import SketchExtractor
 
@@ -100,9 +101,13 @@ class DedupEngine:
         config: DedupConfig | None = None,
         costs: CostModel | None = None,
         observers: Sequence[PipelineObserver] = (),
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self.config = config if config is not None else DedupConfig()
         self.costs = costs if costs is not None else CostModel()
+        #: Shared observability registry; the cluster passes its own so
+        #: engine, storage, and replication metrics export together.
+        self.registry = registry if registry is not None else MetricsRegistry()
         chunker = ContentDefinedChunker(avg_size=self.config.chunk_size)
         self.extractor = SketchExtractor(
             chunker=chunker, top_k=self.config.top_k, seed=self.config.murmur_seed
@@ -120,7 +125,11 @@ class DedupEngine:
             refresh_interval=self.config.size_filter_interval,
             enabled=self.config.size_filter_enabled,
         )
-        self.stats = DedupStats(saving_sample_cap=self.config.saving_sample_cap)
+        self.stats = DedupStats(
+            registry=self.registry,
+            saving_sample_cap=self.config.saving_sample_cap,
+            source_cache=self.planner.source_cache,
+        )
         #: Per-logical-database statistics (savings samples only kept
         #: globally, to bound memory).
         self.database_stats: dict[str, DedupStats] = {}
@@ -137,6 +146,7 @@ class DedupEngine:
         self.pipeline = build_default_pipeline(
             self, observers=[StageStatsObserver(self.stats), *observers]
         )
+        self._install_collectors()
 
     # -- convenience views -----------------------------------------------------
 
@@ -159,9 +169,89 @@ class DedupEngine:
         """Per-database statistics (created on first use)."""
         stats = self.database_stats.get(database)
         if stats is None:
-            stats = DedupStats(keep_saving_samples=False)
+            stats = DedupStats(
+                registry=self.registry, scope=database,
+                keep_saving_samples=False,
+            )
             self.database_stats[database] = stats
         return stats
+
+    def _install_collectors(self) -> None:
+        """Export component-native counters through the shared registry.
+
+        Caches and index partitions keep counting in their own plain
+        attributes (zero registry cost on their hot paths); these lazy
+        collectors read them out at snapshot time. Index families are
+        labeled by database because partitions come and go with the
+        governor.
+        """
+        reg = self.registry
+        cache = self.planner.source_cache
+        reg.counter(
+            "source_cache_hits_total",
+            "Source-cache lookups served from memory",
+        ).collect(lambda: {(): cache.hits})
+        reg.counter(
+            "source_cache_misses_total",
+            "Source-cache lookups that fell through to storage",
+        ).collect(lambda: {(): cache.misses})
+        reg.counter(
+            "source_cache_evictions_total",
+            "Source-cache entries evicted by the byte budget",
+        ).collect(lambda: {(): cache.evictions})
+        reg.gauge(
+            "source_cache_used_bytes", "Bytes held by the source cache",
+        ).collect(lambda: {(): cache.used_bytes})
+
+        def index_values(attr):
+            return lambda: {
+                (database,): getattr(index, attr)
+                for database, index in self._indexes.items()
+            }
+
+        label = ("database",)
+        reg.counter(
+            "cuckoo_lookups_total", "Feature-index lookups", label,
+        ).collect(index_values("lookups"))
+        reg.counter(
+            "cuckoo_inserts_total", "Feature-index insertions", label,
+        ).collect(index_values("inserts"))
+        reg.counter(
+            "cuckoo_displacements_total",
+            "Cuckoo kicks (entries displaced during insertion)", label,
+        ).collect(index_values("displacements"))
+        reg.counter(
+            "cuckoo_evictions_total",
+            "Entries LRU-evicted from full buckets", label,
+        ).collect(index_values("lru_evictions"))
+        reg.gauge(
+            "cuckoo_entries", "Live feature-index entries", label,
+        ).collect(lambda: {
+            (database,): float(len(index))
+            for database, index in self._indexes.items()
+        })
+        reg.gauge(
+            "cuckoo_memory_bytes", "Feature-index memory footprint", label,
+        ).collect(lambda: {
+            (database,): float(index.memory_bytes)
+            for database, index in self._indexes.items()
+        })
+        reg.gauge(
+            "governor_dedup_enabled",
+            "1 while the governor keeps dedup on for the database", label,
+        ).collect(lambda: {
+            (database,): 0.0
+            if database in self.governor.disabled_databases
+            else 1.0
+            for database in self.database_stats
+        })
+        reg.gauge(
+            "size_filter_threshold_bytes",
+            "Adaptive size filter cut-off per database", label,
+        ).collect(lambda: {
+            (database,): float(self.size_filter.threshold(database))
+            for database in self.database_stats
+        })
 
     def describe(self) -> str:
         """Operator-facing summary: per-database status + per-stage table."""

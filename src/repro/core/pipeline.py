@@ -174,7 +174,7 @@ class StageStatsObserver(PipelineObserver):
         )
 
     def on_drop(self, stage: str, ctx: EncodeContext, reason: str) -> None:
-        self.stats.note_drop(reason)
+        self.stats.note_drop(reason, stage)
 
 
 class Stage(Protocol):
@@ -224,8 +224,8 @@ class GovernorGate(_StageBase):
     def run(self, ctx: EncodeContext) -> None:
         """Drop the record when its database's dedup is disabled."""
         if not self.engine.governor.is_enabled(ctx.database):
-            self.engine.stats.records_bypassed += 1
-            self.engine.stats_for(ctx.database).records_bypassed += 1
+            self.engine.stats.note_bypass()
+            self.engine.stats_for(ctx.database).note_bypass()
             ctx.drop(self.name, DROP_GOVERNOR)
 
 
@@ -237,8 +237,8 @@ class SizeFilterGate(_StageBase):
     def run(self, ctx: EncodeContext) -> None:
         """Observe the record's size; drop it below the cut-off."""
         if not self.engine.size_filter.should_dedup(ctx.database, ctx.raw_size):
-            self.engine.stats.records_filtered += 1
-            self.engine.stats_for(ctx.database).records_filtered += 1
+            self.engine.stats.note_filtered()
+            self.engine.stats_for(ctx.database).note_filtered()
             ctx.drop(self.name, DROP_SIZE_FILTER)
 
 
@@ -365,8 +365,9 @@ class AccountingStage(_StageBase):
 
         engine = self.engine
         if not ctx.dropped:
-            engine.stats.overlapped_encodings += int(ctx.overlapped)
-            engine.stats.writebacks_planned += len(ctx.writebacks)
+            if ctx.overlapped:
+                engine.stats.note_overlap()
+            engine.stats.note_writebacks_planned(len(ctx.writebacks))
             oplog_size = len(ctx.forward_payload)
             planned_savings = sum(
                 entry.space_saving for entry in ctx.writebacks
@@ -382,10 +383,8 @@ class AccountingStage(_StageBase):
             engine.stats_for(ctx.database).record_insert(
                 ctx.raw_size, oplog_size, ideal_delta, deduped=True
             )
-            if ctx.selected.was_cached:
-                engine.stats.source_cache_hits += 1
-            else:
-                engine.stats.source_cache_misses += 1
+            # Source-cache hit/miss accounting lives in the cache itself
+            # since the unification; stats delegate to it.
             engine.observe_governor(ctx.database, ctx.raw_size, oplog_size)
             ctx.result = EncodeResult(
                 record_id=ctx.record_id,

@@ -1,9 +1,32 @@
-"""Deduplication statistics: the numbers every figure is built from."""
+"""Deduplication statistics: the numbers every figure is built from.
+
+Since the observability refactor, :class:`DedupStats` is a *projection*
+over a :class:`~repro.obs.registry.MetricsRegistry` rather than a bag of
+plain counters. Every increment lands in a registry instrument (labeled
+by ``scope`` — ``"_total"`` for the engine-wide view, the database name
+for per-database views), and the legacy attributes (``records_seen``,
+``bytes_in``, the per-stage dicts, …) are read-only views over those
+same instruments. The paper-facing summary and the exported metrics are
+therefore the same numbers by construction — they cannot drift.
+
+Two pieces intentionally stay off the registry:
+
+* the saving-sample reservoir (raw per-record tuples, not a counter);
+* ``source_cache_hits``/``misses`` — since the cache-accounting
+  unification these *delegate to the source cache itself*
+  (:class:`~repro.cache.source_cache.SourceRecordCache` is the single
+  source of truth; an unbound stats object reports zero, which is what
+  per-database views historically showed).
+
+Hot-path cost: one attribute access plus a float add per counter — the
+registry children are resolved once in ``__init__`` and cached.
+"""
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+
+from repro.obs.registry import BYTE_BUCKETS, MetricsRegistry
 
 #: Default bound on retained saving samples (satellite of Fig. 7): enough
 #: for a statistically tight weighted CDF, small enough to stay O(1) in
@@ -15,10 +38,12 @@ DEFAULT_SAVING_SAMPLE_CAP = 100_000
 #: statistics (and so experiment reruns reproduce bit-for-bit).
 _RESERVOIR_SEED = 0x5EED
 
+#: Scope label of the engine-wide (cross-database) view.
+ENGINE_SCOPE = "_total"
 
-@dataclass
+
 class DedupStats:
-    """Counters accumulated by the engine across all databases.
+    """Counters accumulated by the engine, viewed through one scope.
 
     Compression ratios are reported the paper's way: original size divided
     by reduced size, so 1.0 means "no compression".
@@ -31,68 +56,152 @@ class DedupStats:
     records left the dedup path. They reconcile: for every stage,
     ``in == out + drops-at-stage``, and the terminal accounting stage sees
     exactly ``records_seen`` contexts.
+
+    Args:
+        registry: the instrument registry to project; a private one is
+            created when omitted (standalone/test use).
+        scope: label value all this view's increments carry.
+        keep_saving_samples: False disables the reservoir (per-database
+            views, to bound memory).
+        saving_sample_cap: reservoir bound; <= 0 means unbounded.
+        source_cache: when bound, ``source_cache_hits``/``misses``
+            delegate to it; None reports zero.
     """
 
-    records_seen: int = 0
-    records_deduped: int = 0
-    records_unique: int = 0
-    records_filtered: int = 0  # skipped by the size filter
-    records_bypassed: int = 0  # skipped by the governor
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        scope: str = ENGINE_SCOPE,
+        keep_saving_samples: bool = True,
+        saving_sample_cap: int = DEFAULT_SAVING_SAMPLE_CAP,
+        source_cache=None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.scope = scope
+        self.source_cache = source_cache
+        self.keep_saving_samples = keep_saving_samples
+        self.saving_sample_cap = saving_sample_cap
+        #: Per-record space saving samples, kept for Fig. 7's weighted CDF:
+        #: (raw record size, bytes saved by dedup on the forward path).
+        #: Bounded by ``saving_sample_cap`` via reservoir sampling
+        #: (Vitter's algorithm R): once full, each subsequent record
+        #: replaces a random slot with probability cap/seen, so the
+        #: reservoir stays a uniform sample of *all* records.
+        self.saving_samples: list[tuple[int, int]] = []
+        #: How many samples were *offered* (records seen while sampling).
+        self.saving_samples_seen = 0
+        self._sample_rng = random.Random(_RESERVOIR_SEED)
 
-    bytes_in: int = 0
-    #: Bytes shipped to replicas (forward-encoded or raw payloads).
-    oplog_bytes_out: int = 0
-    #: Bytes the storage encoding aims to reach (raw tails + backward deltas,
-    #: before any write-back losses).
-    ideal_storage_bytes: int = 0
+        reg = self.registry
+        label = ("scope",)
+        self._seen = reg.counter(
+            "dedup_records_seen_total", "Records processed by the engine",
+            label,
+        ).labels(scope)
+        self._deduped = reg.counter(
+            "dedup_records_deduped_total",
+            "Records stored as a forward delta", label,
+        ).labels(scope)
+        self._unique = reg.counter(
+            "dedup_records_unique_total", "Records stored raw", label,
+        ).labels(scope)
+        self._filtered = reg.counter(
+            "dedup_records_filtered_total",
+            "Records skipped by the adaptive size filter", label,
+        ).labels(scope)
+        self._bypassed = reg.counter(
+            "dedup_records_bypassed_total",
+            "Records bypassed by the dedup governor", label,
+        ).labels(scope)
+        self._bytes_in = reg.counter(
+            "dedup_bytes_in_total", "Raw bytes offered to the engine",
+            label,
+        ).labels(scope)
+        self._oplog_bytes_out = reg.counter(
+            "dedup_oplog_bytes_out_total",
+            "Bytes shipped to replicas (deltas or raw payloads)", label,
+        ).labels(scope)
+        # A gauge, not a counter: one record's contribution can be
+        # negative when its planned write-backs save more than the
+        # record itself adds.
+        self._ideal_storage_bytes = reg.gauge(
+            "dedup_ideal_storage_bytes",
+            "Storage bytes the encoding aims for before write-back losses",
+            label,
+        ).labels(scope)
+        self._overlapped = reg.counter(
+            "dedup_overlapped_encodings_total",
+            "Chain extensions from a non-tail source (Fig. 5)", label,
+        ).labels(scope)
+        self._writebacks_planned = reg.counter(
+            "dedup_writebacks_planned_total",
+            "Backward/hop re-encodings scheduled", label,
+        ).labels(scope)
+        self._record_bytes = reg.histogram(
+            "dedup_record_bytes", "Raw size distribution of records",
+            label, buckets=BYTE_BUCKETS,
+        ).labels(scope)
 
-    overlapped_encodings: int = 0
-    writebacks_planned: int = 0
+        stage_labels = ("scope", "stage")
+        self._stage_in = reg.counter(
+            "pipeline_stage_records_in_total",
+            "Contexts entering each pipeline stage", stage_labels,
+        )
+        self._stage_out = reg.counter(
+            "pipeline_stage_records_out_total",
+            "Contexts leaving each stage still on the dedup path",
+            stage_labels,
+        )
+        self._stage_cpu = reg.counter(
+            "pipeline_stage_cpu_seconds_total",
+            "Simulated CPU charged inside each stage", stage_labels,
+        )
+        self._drops = reg.counter(
+            "pipeline_drops_total",
+            "Records leaving the dedup path, by stage and reason",
+            ("scope", "stage", "reason"),
+        )
+        # Per-stage children resolved lazily so the projected dicts only
+        # contain stages that actually saw traffic (legacy semantics).
+        self._stage_in_children: dict[str, object] = {}
+        self._stage_out_children: dict[str, object] = {}
+        self._stage_cpu_children: dict[str, object] = {}
+        self._drop_children: dict[tuple[str, str], object] = {}
 
-    source_cache_hits: int = 0
-    source_cache_misses: int = 0
-
-    #: Per-record space saving samples, kept for Fig. 7's weighted CDF:
-    #: (raw record size, bytes saved by dedup on the forward path).
-    #: Bounded by ``saving_sample_cap`` via reservoir sampling (Vitter's
-    #: algorithm R): once full, each subsequent record replaces a random
-    #: slot with probability cap/seen, so the reservoir stays a uniform
-    #: sample of *all* records — which keeps both the record-size CDF and
-    #: the saving-weighted CDF unbiased estimators of the full-corpus
-    #: curves.
-    saving_samples: list[tuple[int, int]] = field(default_factory=list)
-    keep_saving_samples: bool = True
-    #: Maximum retained samples; <= 0 means unbounded (not recommended).
-    saving_sample_cap: int = DEFAULT_SAVING_SAMPLE_CAP
-    #: How many samples were *offered* (records seen while sampling).
-    saving_samples_seen: int = 0
-
-    # -- per-stage pipeline instrumentation --
-    stage_records_in: dict[str, int] = field(default_factory=dict)
-    stage_records_out: dict[str, int] = field(default_factory=dict)
-    stage_cpu_seconds: dict[str, float] = field(default_factory=dict)
-    drop_reasons: dict[str, int] = field(default_factory=dict)
-
-    _sample_rng: random.Random = field(
-        default_factory=lambda: random.Random(_RESERVOIR_SEED),
-        repr=False,
-        compare=False,
-    )
+    # -- accumulation (called by the engine/pipeline) ----------------------------
 
     def record_insert(
         self, raw_size: int, oplog_size: int, ideal_stored: int, deduped: bool
     ) -> None:
         """Account one processed record."""
-        self.records_seen += 1
-        self.bytes_in += raw_size
-        self.oplog_bytes_out += oplog_size
-        self.ideal_storage_bytes += ideal_stored
+        self._seen.inc()
+        self._bytes_in.inc(raw_size)
+        self._oplog_bytes_out.inc(oplog_size)
+        self._ideal_storage_bytes.inc(ideal_stored)
+        self._record_bytes.observe(raw_size)
         if deduped:
-            self.records_deduped += 1
+            self._deduped.inc()
         else:
-            self.records_unique += 1
+            self._unique.inc()
         if self.keep_saving_samples:
             self._offer_sample((raw_size, raw_size - oplog_size))
+
+    def note_bypass(self) -> None:
+        """Count one record the governor bypassed."""
+        self._bypassed.inc()
+
+    def note_filtered(self) -> None:
+        """Count one record the size filter skipped."""
+        self._filtered.inc()
+
+    def note_overlap(self) -> None:
+        """Count one overlapped (non-tail-source) encoding."""
+        self._overlapped.inc()
+
+    def note_writebacks_planned(self, count: int) -> None:
+        """Count ``count`` scheduled write-backs."""
+        if count:
+            self._writebacks_planned.inc(count)
 
     def _offer_sample(self, sample: tuple[int, int]) -> None:
         """Reservoir-sample one record into ``saving_samples``."""
@@ -110,7 +219,11 @@ class DedupStats:
 
     def note_stage_entry(self, stage: str) -> None:
         """Count one context entering ``stage``."""
-        self.stage_records_in[stage] = self.stage_records_in.get(stage, 0) + 1
+        child = self._stage_in_children.get(stage)
+        if child is None:
+            child = self._stage_in.labels(self.scope, stage)
+            self._stage_in_children[stage] = child
+        child.inc()
 
     def note_stage_exit(
         self, stage: str, cpu_seconds: float, survived: bool
@@ -118,23 +231,132 @@ class DedupStats:
         """Count one context leaving ``stage``; ``survived`` is False when
         the stage dropped it from the dedup path."""
         if survived:
-            self.stage_records_out[stage] = (
-                self.stage_records_out.get(stage, 0) + 1
-            )
+            child = self._stage_out_children.get(stage)
+            if child is None:
+                child = self._stage_out.labels(self.scope, stage)
+                self._stage_out_children[stage] = child
+            child.inc()
         if cpu_seconds:
-            self.stage_cpu_seconds[stage] = (
-                self.stage_cpu_seconds.get(stage, 0.0) + cpu_seconds
-            )
+            child = self._stage_cpu_children.get(stage)
+            if child is None:
+                child = self._stage_cpu.labels(self.scope, stage)
+                self._stage_cpu_children[stage] = child
+            child.inc(cpu_seconds)
 
-    def note_drop(self, reason: str) -> None:
-        """Tally one record leaving the dedup path for ``reason``."""
-        self.drop_reasons[reason] = self.drop_reasons.get(reason, 0) + 1
+    def note_drop(self, reason: str, stage: str = "unknown") -> None:
+        """Tally one record leaving the dedup path at ``stage``."""
+        key = (stage, reason)
+        child = self._drop_children.get(key)
+        if child is None:
+            child = self._drops.labels(self.scope, stage, reason)
+            self._drop_children[key] = child
+        child.inc()
+
+    # -- legacy attribute views over the registry --------------------------------
+
+    @property
+    def records_seen(self) -> int:
+        """Records processed."""
+        return int(self._seen.value)
+
+    @property
+    def records_deduped(self) -> int:
+        """Records stored as forward deltas."""
+        return int(self._deduped.value)
+
+    @property
+    def records_unique(self) -> int:
+        """Records stored raw."""
+        return int(self._unique.value)
+
+    @property
+    def records_filtered(self) -> int:
+        """Records skipped by the size filter."""
+        return int(self._filtered.value)
+
+    @property
+    def records_bypassed(self) -> int:
+        """Records bypassed by the governor."""
+        return int(self._bypassed.value)
+
+    @property
+    def bytes_in(self) -> int:
+        """Raw bytes offered to the engine."""
+        return int(self._bytes_in.value)
+
+    @property
+    def oplog_bytes_out(self) -> int:
+        """Bytes shipped to replicas (forward-encoded or raw payloads)."""
+        return int(self._oplog_bytes_out.value)
+
+    @property
+    def ideal_storage_bytes(self) -> int:
+        """Bytes the storage encoding aims to reach (raw tails + backward
+        deltas, before any write-back losses)."""
+        return int(self._ideal_storage_bytes.value)
+
+    @property
+    def overlapped_encodings(self) -> int:
+        """Chain extensions whose source was not its chain's tail."""
+        return int(self._overlapped.value)
+
+    @property
+    def writebacks_planned(self) -> int:
+        """Backward/hop re-encodings scheduled."""
+        return int(self._writebacks_planned.value)
+
+    @property
+    def source_cache_hits(self) -> int:
+        """Source-cache lookups served from memory (cache's own count)."""
+        return self.source_cache.hits if self.source_cache is not None else 0
+
+    @property
+    def source_cache_misses(self) -> int:
+        """Source-cache lookups that fell through (cache's own count)."""
+        return (
+            self.source_cache.misses if self.source_cache is not None else 0
+        )
+
+    def _scoped_stages(self, family, cast) -> dict:
+        return {
+            key[1]: cast(value)
+            for key, value in family.items()
+            if key[0] == self.scope
+        }
+
+    @property
+    def stage_records_in(self) -> dict[str, int]:
+        """Stage → contexts that entered it (this scope only)."""
+        return self._scoped_stages(self._stage_in, int)
+
+    @property
+    def stage_records_out(self) -> dict[str, int]:
+        """Stage → contexts that left it still on the dedup path."""
+        return self._scoped_stages(self._stage_out, int)
+
+    @property
+    def stage_cpu_seconds(self) -> dict[str, float]:
+        """Stage → simulated CPU seconds charged inside it."""
+        return self._scoped_stages(self._stage_cpu, float)
+
+    @property
+    def drop_reasons(self) -> dict[str, int]:
+        """Drop reason → records dropped for it (summed over stages)."""
+        reasons: dict[str, int] = {}
+        for key, value in self._drops.items():
+            if key[0] != self.scope:
+                continue
+            reason = key[2]
+            reasons[reason] = reasons.get(reason, 0) + int(value)
+        return reasons
 
     def drops_at_stage(self, stage: str) -> int:
         """Records dropped inside ``stage`` (in minus out)."""
         return self.stage_records_in.get(stage, 0) - self.stage_records_out.get(
             stage, 0
         )
+
+    # -- derived ratios ----------------------------------------------------------
 
     @property
     def network_compression_ratio(self) -> float:
@@ -160,3 +382,49 @@ class DedupStats:
         """Fraction of source retrievals that had to hit the database."""
         total = self.source_cache_hits + self.source_cache_misses
         return self.source_cache_misses / total if total else 0.0
+
+    # -- summary / equality ------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Every legacy counter as one plain dict (the paper-facing view).
+
+        This is by construction the same data the registry exports —
+        each entry is read straight from a registry instrument (or the
+        bound source cache), which is what makes "legacy summary ==
+        exported metrics" an identity rather than a test assertion.
+        """
+        return {
+            "records_seen": self.records_seen,
+            "records_deduped": self.records_deduped,
+            "records_unique": self.records_unique,
+            "records_filtered": self.records_filtered,
+            "records_bypassed": self.records_bypassed,
+            "bytes_in": self.bytes_in,
+            "oplog_bytes_out": self.oplog_bytes_out,
+            "ideal_storage_bytes": self.ideal_storage_bytes,
+            "overlapped_encodings": self.overlapped_encodings,
+            "writebacks_planned": self.writebacks_planned,
+            "source_cache_hits": self.source_cache_hits,
+            "source_cache_misses": self.source_cache_misses,
+            "stage_records_in": self.stage_records_in,
+            "stage_records_out": self.stage_records_out,
+            "stage_cpu_seconds": self.stage_cpu_seconds,
+            "drop_reasons": self.drop_reasons,
+        }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DedupStats):
+            return NotImplemented
+        return (
+            self.summary() == other.summary()
+            and self.saving_samples == other.saving_samples
+            and self.saving_samples_seen == other.saving_samples_seen
+        )
+
+    __hash__ = None  # mutable value object
+
+    def __repr__(self) -> str:
+        return (
+            f"DedupStats(scope={self.scope!r}, seen={self.records_seen}, "
+            f"deduped={self.records_deduped}, unique={self.records_unique})"
+        )

@@ -15,6 +15,8 @@ from repro.core.config import DedupConfig
 from repro.db.errors import CorruptChain, CorruptPage
 from repro.db.node import PrimaryNode, SecondaryNode
 from repro.db.replication import DEFAULT_BATCH_BYTES, ReplicationLink
+from repro.obs import MetricsRegistry, TimeSeriesSampler, Tracer
+from repro.obs import runtime as obs_runtime
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.network import SimNetwork
@@ -141,10 +143,40 @@ class Cluster:
         self,
         config: ClusterConfig | None = None,
         costs: CostModel | None = None,
+        *,
+        registry: MetricsRegistry | None = None,
+        trace: bool = False,
+        sample_every_s: float | None = None,
+        sample_every_ops: int | None = None,
     ) -> None:
         self.config = config if config is not None else ClusterConfig()
         self.costs = costs if costs is not None else CostModel()
         self.clock = SimClock()
+        # An ambient capture (opened by the CLI around experiment code
+        # that builds clusters internally) turns observability on without
+        # constructor plumbing; explicit arguments still win.
+        cap = obs_runtime.active_capture()
+        if cap is not None:
+            trace = trace or cap.trace
+            if sample_every_s is None:
+                sample_every_s = cap.sample_seconds
+            if sample_every_ops is None:
+                sample_every_ops = cap.sample_ops
+        #: Shared metrics registry every layer of this cluster reports to.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Shared sim-clock tracer (disabled unless ``trace=True``).
+        self.tracer = Tracer(self.clock, enabled=trace)
+        #: Optional time-series sampler driven by client operations.
+        self.sampler = (
+            TimeSeriesSampler(
+                self.registry,
+                clock=self.clock,
+                every_seconds=sample_every_s,
+                every_ops=sample_every_ops,
+            )
+            if sample_every_s is not None or sample_every_ops is not None
+            else None
+        )
         compressor_name = self.config.block_compression
         self.primary = PrimaryNode(
             clock=self.clock,
@@ -156,6 +188,9 @@ class Cluster:
             use_writeback_cache=self.config.use_writeback_cache,
             page_size=self.config.page_size,
             physical_storage=self.config.physical_storage,
+            registry=self.registry,
+            tracer=self.tracer,
+            node_name="primary",
         )
         self.secondaries = [
             SecondaryNode(
@@ -166,10 +201,14 @@ class Cluster:
                 block_compressor=make_block_compressor(compressor_name),
                 page_size=self.config.page_size,
                 physical_storage=self.config.physical_storage,
+                registry=self.registry,
+                tracer=self.tracer,
+                node_name=f"secondary{index}",
             )
-            for _ in range(self.config.num_secondaries)
+            for index in range(self.config.num_secondaries)
         ]
         self.network = SimNetwork(self.clock, self.costs)
+        self.network.tracer = self.tracer
         batch_compressor = (
             make_block_compressor(self.config.batch_compression)
             if self.config.batch_compression != "none"
@@ -182,6 +221,7 @@ class Cluster:
                 self.network,
                 self.config.oplog_batch_bytes,
                 batch_compressor=batch_compressor,
+                tracer=self.tracer,
             )
             for secondary in self.secondaries
         ]
@@ -196,6 +236,77 @@ class Cluster:
         self.fault_plan = None
         #: Records repaired through the quarantine path.
         self.repairs = 0
+        self._install_collectors()
+        if cap is not None:
+            cap.register(self)
+
+    def _install_collectors(self) -> None:
+        """Export network, replication and cluster counters lazily."""
+        reg = self.registry
+        net = self.network
+        reg.counter(
+            "network_bytes_sent_total",
+            "Bytes of all transfer attempts (including dropped ones)",
+        ).collect(lambda: {(): float(net.bytes_sent)})
+        reg.counter(
+            "network_bytes_delivered_total",
+            "Bytes of successfully delivered transfers",
+        ).collect(lambda: {(): float(net.bytes_delivered)})
+        reg.counter(
+            "network_messages_total",
+            "Transfer attempts by outcome", ("status",),
+        ).collect(lambda: {
+            ("sent",): float(net.messages),
+            ("delivered",): float(net.messages_delivered),
+            ("dropped",): float(net.messages_dropped),
+        })
+
+        def link_values(attr):
+            return lambda: {
+                (f"secondary{index}",): float(getattr(link, attr))
+                for index, link in enumerate(self.links)
+            }
+
+        label = ("link",)
+        reg.counter(
+            "replication_batches_shipped_total",
+            "Oplog batches confirmed delivered", label,
+        ).collect(link_values("batches_shipped"))
+        reg.counter(
+            "replication_uncompressed_bytes_total",
+            "Pre-batch-compression bytes of shipped batches", label,
+        ).collect(link_values("uncompressed_bytes"))
+        reg.counter(
+            "replication_delivery_failures_total",
+            "Delivery attempts dropped by fault injection", label,
+        ).collect(link_values("delivery_failures"))
+        reg.counter(
+            "replication_failed_syncs_total",
+            "Syncs that exhausted their delivery attempts", label,
+        ).collect(link_values("failed_syncs"))
+        reg.counter(
+            "replication_resends_total",
+            "Successful syncs that resent a previously failed batch", label,
+        ).collect(link_values("resends"))
+        reg.counter(
+            "faults_injected_total", "Fault-plan rules that fired",
+        ).collect(lambda: {
+            (): float(self.fault_plan.injected)
+            if self.fault_plan is not None
+            else 0.0
+        })
+        reg.counter(
+            "cluster_repairs_total",
+            "Records restored through the quarantine repair path",
+        ).collect(lambda: {(): float(self.repairs)})
+        reg.counter(
+            "cluster_secondary_reads_total",
+            "Client reads routed to a secondary",
+        ).collect(lambda: {(): float(self.secondary_reads)})
+        reg.counter(
+            "cluster_stale_read_fallbacks_total",
+            "Secondary reads served by the primary (replica was stale)",
+        ).collect(lambda: {(): float(self.stale_read_fallbacks)})
 
     @property
     def secondary(self) -> SecondaryNode:
@@ -211,23 +322,35 @@ class Cluster:
         """Run one client operation; returns its latency and advances time."""
         if op.kind == "idle":
             return self._idle(op.idle_seconds)
-        if op.kind == "insert":
-            latency = self.primary.insert(op.database, op.record_id, op.content)
-            self.inserts += 1
-        elif op.kind == "read":
-            _, latency = self.read(op.database, op.record_id)
-            self.reads += 1
-        elif op.kind == "update":
-            latency = self.primary.update(op.database, op.record_id, op.content)
-        elif op.kind == "delete":
-            latency = self.primary.delete(op.database, op.record_id)
-        else:
-            raise ValueError(f"unknown operation kind {op.kind!r}")
-        self.clock.advance(latency)
-        for link in self.links:
-            link.maybe_sync()
+        span = self.tracer.start_span(f"op:{op.kind}", record_id=op.record_id)
+        try:
+            if op.kind == "insert":
+                latency = self.primary.insert(
+                    op.database, op.record_id, op.content
+                )
+                self.inserts += 1
+            elif op.kind == "read":
+                _, latency = self.read(op.database, op.record_id)
+                self.reads += 1
+            elif op.kind == "update":
+                latency = self.primary.update(
+                    op.database, op.record_id, op.content
+                )
+            elif op.kind == "delete":
+                latency = self.primary.delete(op.database, op.record_id)
+            else:
+                raise ValueError(f"unknown operation kind {op.kind!r}")
+            span.annotate("latency_s", latency)
+            self.clock.advance(latency)
+            # Replication the operation triggered belongs in its trace.
+            for link in self.links:
+                link.maybe_sync()
+        finally:
+            self.tracer.end_span(span)
         if self.fault_plan is not None:
             self.fault_plan.after_operation(self)
+        if self.sampler is not None:
+            self.sampler.note_op()
         return latency
 
     def execute_insert_batch(self, ops: list[Operation]) -> float:
@@ -237,15 +360,23 @@ class Cluster:
         Replication ships after the whole batch, mirroring how a real
         client driver pipelines a bulk load.
         """
-        latency = self.primary.insert_batch(
-            [(op.database, op.record_id, op.content) for op in ops]
-        )
-        self.inserts += len(ops)
-        self.clock.advance(latency)
-        for link in self.links:
-            link.maybe_sync()
+        span = self.tracer.start_span("op:insert_batch", records=len(ops))
+        try:
+            latency = self.primary.insert_batch(
+                [(op.database, op.record_id, op.content) for op in ops]
+            )
+            self.inserts += len(ops)
+            span.annotate("latency_s", latency)
+            self.clock.advance(latency)
+            for link in self.links:
+                link.maybe_sync()
+        finally:
+            self.tracer.end_span(span)
         if self.fault_plan is not None:
             self.fault_plan.after_operation(self)
+        if self.sampler is not None:
+            for _ in ops:
+                self.sampler.note_op()
         return latency
 
     def read(self, database: str, record_id: str) -> tuple[bytes | None, float]:
@@ -444,6 +575,8 @@ class Cluster:
                 note_op(latency)
         flush_pending()
         self.finalize()
+        if self.sampler is not None:
+            self.sampler.finalize()
         duration = self.clock.now - start
         if timeline_bucket_s and buckets:
             last_bucket = max(buckets)
@@ -512,7 +645,10 @@ class Cluster:
             }
             if primary_ids != secondary_ids:
                 return False
-            for record_id in primary_ids:
+            # Sorted, not set order: the reads below go through the decode
+            # cache, so a hash-randomized visit order would leak into the
+            # exported disk/decode counters from run to run.
+            for record_id in sorted(primary_ids):
                 record = self.primary.db.records[record_id]
                 primary_content, _ = self.primary.db.read(
                     record.database, record_id

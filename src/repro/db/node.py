@@ -15,6 +15,8 @@ from repro.core.reencoder import SecondaryReencoder
 from repro.compression.block import BlockCompressor
 from repro.db.database import Database
 from repro.db.oplog import Oplog, OplogEntry
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracing import NULL_TRACER, Tracer, TracingObserver
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.disk import SimDisk
@@ -26,6 +28,116 @@ def _physical_store(page_size: int, block_compressor, disk: SimDisk):
 
     return HeapFileStore(
         page_size=page_size, compressor=block_compressor, disk=disk
+    )
+
+
+def _install_node_collectors(registry: MetricsRegistry, node) -> None:
+    """Export a node's storage-layer counters, labeled by node name.
+
+    Collectors close over the *node*, not its current database: a crash
+    restart swaps ``node.db`` (and the write-back cache with it) for a
+    fresh instance, and the lazy read-through keeps pointing at whichever
+    store is live. Counters on replaced components therefore reset on
+    restart — exactly what happens to the volatile state they count.
+    """
+    label = ("node",)
+    key = (node.node_name,)
+
+    def export(make, name, help_text, kind="counter"):
+        family = getattr(registry, kind)(name, help_text, label)
+        family.collect(lambda: {key: float(make())})
+
+    disk = lambda attr: (lambda: getattr(node.db.disk, attr))
+    export(disk("reads"), "disk_reads_total", "Simulated disk read requests")
+    export(disk("writes"), "disk_writes_total", "Simulated disk write requests")
+    export(disk("bytes_read"), "disk_bytes_read_total", "Bytes read from disk")
+    export(
+        disk("bytes_written"), "disk_bytes_written_total",
+        "Bytes written to disk",
+    )
+    export(
+        lambda: node.db.disk.queue_length(), "disk_queue_depth",
+        "Outstanding disk requests", kind="gauge",
+    )
+
+    wb = lambda attr: (lambda: getattr(node.db.writeback_cache, attr))
+    export(
+        wb("flushed"), "writeback_cache_flushed_total",
+        "Write-back entries applied to storage",
+    )
+    export(
+        wb("discarded"), "writeback_cache_discarded_total",
+        "Write-back entries dropped by the byte budget",
+    )
+    export(
+        wb("discarded_savings"), "writeback_cache_discarded_savings_bytes_total",
+        "Storage savings lost with discarded write-backs",
+    )
+    export(
+        wb("invalidated"), "writeback_cache_invalidated_total",
+        "Write-back entries superseded by client writes or newer deltas",
+    )
+    export(
+        wb("used_bytes"), "writeback_cache_used_bytes",
+        "Bytes held by pending write-back entries", kind="gauge",
+    )
+
+    db = lambda attr: (lambda: getattr(node.db, attr))
+    export(
+        db("writebacks_applied"), "db_writebacks_applied_total",
+        "Backward/hop deltas written back to storage",
+    )
+    export(
+        db("gc_splices"), "db_gc_splices_total",
+        "Deleted records spliced out of decode chains",
+    )
+    export(
+        db("decode_base_fetches"), "db_decode_base_fetches_total",
+        "Base records fetched while decoding delta chains",
+    )
+    export(
+        db("io_retries"), "db_io_retries_total",
+        "Disk requests retried after transient fault injection",
+    )
+    export(
+        db("io_failures"), "db_io_failures_total",
+        "Disk requests abandoned after exhausting retries",
+    )
+    export(
+        db("corrupt_reads_detected"), "db_corrupt_reads_detected_total",
+        "Checksum mismatches caught on the read path",
+    )
+    export(
+        db("corrupt_reads_recovered"), "db_corrupt_reads_recovered_total",
+        "Corrupt reads healed by re-reading storage",
+    )
+    export(
+        lambda: len(node.db.quarantine), "db_quarantined_records",
+        "Records awaiting repair from a healthy replica", kind="gauge",
+    )
+    export(
+        lambda: node.crashes, "node_crashes_total",
+        "Simulated process crashes",
+    )
+    export(
+        lambda: node.background_cpu_seconds, "node_background_cpu_seconds_total",
+        "Background CPU consumed off the client critical path",
+    )
+
+    pool = lambda attr: (
+        lambda: getattr(getattr(node.db.pages, "pool", None), attr, 0)
+    )
+    export(
+        pool("hits"), "bufferpool_hits_total",
+        "Buffer-pool page requests served from memory",
+    )
+    export(
+        pool("misses"), "bufferpool_misses_total",
+        "Buffer-pool page requests that hit the device",
+    )
+    export(
+        pool("evictions"), "bufferpool_evictions_total",
+        "Buffer-pool frames evicted to make room",
     )
 
 
@@ -43,6 +155,9 @@ class PrimaryNode:
         use_writeback_cache: bool = True,
         page_size: int = 32 * 1024,
         physical_storage: bool = False,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        node_name: str = "primary",
     ) -> None:
         self.clock = clock
         self.costs = costs if costs is not None else CostModel()
@@ -53,18 +168,31 @@ class PrimaryNode:
         self._block_compressor = block_compressor
         self._page_size = page_size
         self._physical_storage = physical_storage
-        self.engine = (
-            DedupEngine(self.config, self.costs) if dedup_enabled else None
-        )
+        self.registry = registry
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.node_name = node_name
+        self.engine = self._build_engine() if dedup_enabled else None
         self.db = self._build_database()
         self.oplog = Oplog()
         self.background_cpu_seconds = 0.0
         self.crashes = 0
         self._crashed = False
+        if self.registry is not None:
+            _install_node_collectors(self.registry, self)
+
+    def _build_engine(self) -> DedupEngine:
+        """A dedup engine sharing the node's registry and tracer."""
+        return DedupEngine(
+            self.config,
+            self.costs,
+            observers=(TracingObserver(self.tracer),),
+            registry=self.registry,
+        )
 
     def _build_database(self, disk: SimDisk | None = None) -> Database:
         """Wire a fresh record store (initial boot and post-crash restart)."""
         disk = disk if disk is not None else SimDisk(self.clock, self.costs)
+        disk.tracer = self.tracer
         return Database(
             clock=self.clock,
             disk=disk,
@@ -119,7 +247,9 @@ class PrimaryNode:
         fault_injector = self.db.fault_injector
         disk = self.db.disk  # the device outlives the process
         if self.dedup_enabled:
-            self.engine = DedupEngine(self.config, self.costs)
+            # A shared registry sees the rebuilt engine's collectors
+            # shadow the dead engine's — restarted state reads fresh.
+            self.engine = self._build_engine()
         db = self._build_database(disk)
         db.fault_injector = fault_injector
         if snapshot_path is not None:
@@ -309,6 +439,9 @@ class SecondaryNode:
         block_compressor: BlockCompressor | None = None,
         page_size: int = 32 * 1024,
         physical_storage: bool = False,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        node_name: str = "secondary",
     ) -> None:
         self.clock = clock
         self.costs = costs if costs is not None else CostModel()
@@ -317,6 +450,9 @@ class SecondaryNode:
         self._block_compressor = block_compressor
         self._page_size = page_size
         self._physical_storage = physical_storage
+        self.registry = registry
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.node_name = node_name
         self.reencoder = (
             SecondaryReencoder(self.config, self.costs) if dedup_enabled else None
         )
@@ -326,10 +462,18 @@ class SecondaryNode:
         self.decode_fallbacks = 0
         self.crashes = 0
         self._crashed = False
+        if self.registry is not None:
+            _install_node_collectors(self.registry, self)
+            self.registry.counter(
+                "secondary_decode_fallbacks_total",
+                "Encoded entries applied raw because the base was missing",
+                ("node",),
+            ).collect(lambda: {(self.node_name,): float(self.decode_fallbacks)})
 
     def _build_database(self, disk: SimDisk | None = None) -> Database:
         """Wire a fresh record store (initial boot and post-crash restart)."""
         disk = disk if disk is not None else SimDisk(self.clock, self.costs)
+        disk.tracer = self.tracer
         return Database(
             clock=self.clock,
             disk=disk,
@@ -437,5 +581,7 @@ class SecondaryNode:
             payload=entry.payload, base_id=entry.base_id, encoded=True,
         )
         self.background_cpu_seconds += outcome.cpu_seconds
+        # Re-encode CPU lands on the open replica_apply span (if any).
+        self.tracer.add_cost("cpu_s", outcome.cpu_seconds)
         self.db.insert(entry.database, entry.record_id, outcome.content)
         self.db.schedule_writebacks(outcome.writebacks)

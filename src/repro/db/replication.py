@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.compression.block import BlockCompressor
 from repro.db.node import PrimaryNode, SecondaryNode
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sim.faults import DeliveryFault
 from repro.sim.network import SimNetwork
 
@@ -42,6 +43,7 @@ class ReplicationLink:
         batch_compressor: BlockCompressor | None = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+        tracer: Tracer | None = None,
     ) -> None:
         if batch_bytes < 1:
             raise ValueError(f"batch_bytes must be >= 1, got {batch_bytes}")
@@ -54,6 +56,7 @@ class ReplicationLink:
         self.batch_compressor = batch_compressor
         self.max_attempts = max_attempts
         self.retry_backoff_s = retry_backoff_s
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.batches_shipped = 0
         #: Wire bytes before batch compression (what dedup alone achieves).
         self.uncompressed_bytes = 0
@@ -98,24 +101,33 @@ class ReplicationLink:
             image = b"".join(entry.payload for entry in batch)
             headers = len(batch) * 32
             wire_bytes = len(self.batch_compressor.compress(image)) + headers
-        for attempt in range(self.max_attempts):
-            try:
-                self.network.transfer(wire_bytes)
-                break
-            except DeliveryFault:
-                self.delivery_failures += 1
-                self.network.clock.advance(
-                    self.retry_backoff_s * (2**attempt)
-                )
-        else:
-            self.failed_syncs += 1
-            self._last_sync_failed = True
-            return 0
-        if self._last_sync_failed:
-            self.resends += 1
-            self._last_sync_failed = False
-        self._cursor = batch[-1].seq + 1
-        self.uncompressed_bytes += raw_bytes
-        self.secondary.apply_batch(batch, self.primary)
-        self.batches_shipped += 1
-        return wire_bytes
+        with self.tracer.span(
+            "replicate", entries=len(batch), wire_bytes=wire_bytes
+        ):
+            delivered = False
+            with self.tracer.span("oplog_ship") as ship:
+                for attempt in range(self.max_attempts):
+                    try:
+                        self.network.transfer(wire_bytes)
+                        delivered = True
+                        break
+                    except DeliveryFault:
+                        self.delivery_failures += 1
+                        self.network.clock.advance(
+                            self.retry_backoff_s * (2**attempt)
+                        )
+                if not delivered:
+                    ship.annotate("delivery_failed", True)
+            if not delivered:
+                self.failed_syncs += 1
+                self._last_sync_failed = True
+                return 0
+            if self._last_sync_failed:
+                self.resends += 1
+                self._last_sync_failed = False
+            self._cursor = batch[-1].seq + 1
+            self.uncompressed_bytes += raw_bytes
+            with self.tracer.span("replica_apply"):
+                self.secondary.apply_batch(batch, self.primary)
+            self.batches_shipped += 1
+            return wire_bytes

@@ -77,6 +77,14 @@ class CuckooFeatureIndex:
         self.max_candidates = max_candidates
         self._clock = 0
         self._entry_count = 0
+        # Occupancy/traffic counters, exported via the metrics registry.
+        self.lookups = 0
+        self.inserts = 0
+        #: Entries displaced because every candidate slot was taken
+        #: (the cuckoo "kick" path).
+        self.displacements = 0
+        #: Matching entries evicted when a lookup hit ``max_candidates``.
+        self.lru_evictions = 0
 
     # -- memory accounting -------------------------------------------------
 
@@ -119,6 +127,7 @@ class CuckooFeatureIndex:
         """Records whose entries match ``feature``'s checksum (LRU-refreshed)."""
         checksum = self._checksum(feature)
         self._clock += 1
+        self.lookups += 1
         matches: list[_Entry] = []
         for index in self._bucket_indexes(feature):
             for entry in self._buckets[index].slots:
@@ -136,6 +145,7 @@ class CuckooFeatureIndex:
         """Register ``record`` under ``feature``, displacing LRU if full."""
         checksum = self._checksum(feature)
         self._clock += 1
+        self.inserts += 1
         entry = _Entry(checksum, record, self._clock)
         candidates = self._bucket_indexes(feature)
         for index in candidates:
@@ -159,6 +169,7 @@ class CuckooFeatureIndex:
         if victim_index >= 0:
             entry.bucket = victim_index
             self._buckets[victim_index].slots[victim_pos] = entry
+            self.displacements += 1
 
     def _evict_lru(self, matches: list[_Entry]) -> None:
         """Drop the least-recently-used entry among ``matches`` (§3.1.2)."""
@@ -167,6 +178,7 @@ class CuckooFeatureIndex:
         if victim in bucket.slots:
             bucket.slots.remove(victim)
             self._entry_count -= 1
+            self.lru_evictions += 1
         matches.remove(victim)
         self._clock += 1
         for entry in matches:

@@ -1,0 +1,72 @@
+"""Unified observability layer: metrics, tracing, sampling, exporters.
+
+Every subsystem of the reproduction reports into one substrate:
+
+* :class:`MetricsRegistry` — labeled counters, gauges and histograms,
+  cheap enough for hot paths and snapshot-able to plain dicts;
+* :class:`Tracer` / :class:`Span` — sim-clock-aware tracing with per-span
+  simulated CPU/disk/network cost attribution, so one insert can be
+  followed end-to-end through sketch → index → select → encode →
+  oplog ship → replica apply;
+* :class:`TimeSeriesSampler` — periodic registry snapshots (every N
+  simulated seconds or M operations) producing Fig. 14-style
+  ingest-progress curves for any run;
+* exporters — Prometheus text format plus a versioned JSON schema with a
+  structural validator and reconciliation identity checks.
+
+The package is dependency-light on purpose: plain Python and ``bisect``,
+no third-party client libraries, so core modules can import it without
+dragging anything into hot paths.
+"""
+
+from repro.obs.export import (
+    METRICS_SET_SCHEMA_VERSION,
+    SCHEMA_VERSION,
+    TRACE_SCHEMA_VERSION,
+    TRACE_SET_SCHEMA_VERSION,
+    check_metrics_payload,
+    check_reconciliation,
+    metrics_document,
+    metrics_set_document,
+    to_prometheus_text,
+    trace_document,
+    trace_set_document,
+    validate_metrics_document,
+    write_json,
+    write_metrics_json,
+    write_trace_json,
+)
+from repro.obs.registry import (
+    BYTE_BUCKETS,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+from repro.obs.sampler import TimeSeriesSampler, parse_sample_every
+from repro.obs.tracing import NULL_TRACER, Span, Tracer, TracingObserver
+
+__all__ = [
+    "BYTE_BUCKETS",
+    "LATENCY_BUCKETS_S",
+    "METRICS_SET_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "SCHEMA_VERSION",
+    "Span",
+    "TRACE_SCHEMA_VERSION",
+    "TRACE_SET_SCHEMA_VERSION",
+    "TimeSeriesSampler",
+    "Tracer",
+    "TracingObserver",
+    "check_metrics_payload",
+    "check_reconciliation",
+    "metrics_document",
+    "metrics_set_document",
+    "parse_sample_every",
+    "to_prometheus_text",
+    "trace_document",
+    "trace_set_document",
+    "validate_metrics_document",
+    "write_json",
+    "write_metrics_json",
+    "write_trace_json",
+]

@@ -1,0 +1,404 @@
+"""Exporters: Prometheus text, versioned JSON documents, validators.
+
+Two document kinds leave the process:
+
+* the **metrics document** (``repro.metrics/v1``) — every family's
+  snapshot, optional time series from a
+  :class:`~repro.obs.sampler.TimeSeriesSampler`, and free-form metadata;
+* the **trace document** (``repro.trace/v1``) — the tracer's root span
+  trees with per-span simulated cost attribution.
+
+Both carry their schema tag in a top-level ``schema`` field so readers
+(CI, notebooks, the ``check-metrics`` subcommand) can refuse documents
+they do not understand. :func:`validate_metrics_document` is a
+structural validator — dependency-light by design, no jsonschema — and
+:func:`check_reconciliation` asserts the accounting identities the
+simulator promises (stage in == out + drops, records seen == deduped +
+unique, bytes delivered ≤ bytes sent).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.obs.registry import KINDS, MetricsRegistry
+from repro.obs.sampler import TimeSeriesSampler
+from repro.obs.tracing import Tracer
+
+#: Version tag of the metrics JSON document layout.
+SCHEMA_VERSION = "repro.metrics/v1"
+
+#: Version tag of the trace JSON document layout.
+TRACE_SCHEMA_VERSION = "repro.trace/v1"
+
+#: Version tag of a multi-run metrics bundle (``experiment`` runs build
+#: several clusters; each contributes one full metrics document).
+METRICS_SET_SCHEMA_VERSION = "repro.metrics-set/v1"
+
+#: Version tag of a multi-run trace bundle.
+TRACE_SET_SCHEMA_VERSION = "repro.trace-set/v1"
+
+
+# -- documents ------------------------------------------------------------------
+
+
+def metrics_document(
+    registry: MetricsRegistry,
+    sampler: TimeSeriesSampler | None = None,
+    meta: Mapping[str, object] | None = None,
+) -> dict:
+    """The full JSON-ready metrics document for one registry."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "meta": dict(meta) if meta else {},
+        "metrics": registry.snapshot(),
+        "series": sampler.to_dict() if sampler is not None else None,
+    }
+
+
+def trace_document(tracer: Tracer) -> dict:
+    """The JSON-ready trace document for one tracer."""
+    return {
+        "schema": TRACE_SCHEMA_VERSION,
+        "clock": "sim" if tracer.clock is not None else "wall",
+        "dropped_roots": tracer.dropped_roots,
+        "roots": [span.to_dict() for span in tracer.roots],
+    }
+
+
+def write_metrics_json(
+    path: str,
+    registry: MetricsRegistry,
+    sampler: TimeSeriesSampler | None = None,
+    meta: Mapping[str, object] | None = None,
+) -> dict:
+    """Write the metrics document to ``path``; returns the document."""
+    document = metrics_document(registry, sampler, meta)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def write_trace_json(path: str, tracer: Tracer) -> dict:
+    """Write the trace document to ``path``; returns the document."""
+    document = trace_document(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def metrics_set_document(
+    runs, meta: Mapping[str, object] | None = None
+) -> dict:
+    """Bundle several runs' metrics into one document.
+
+    Args:
+        runs: iterable of ``(label, registry, sampler_or_None)``.
+        meta: bundle-level metadata (experiment id, workload, ...).
+    """
+    return {
+        "schema": METRICS_SET_SCHEMA_VERSION,
+        "meta": dict(meta) if meta else {},
+        "runs": [
+            metrics_document(registry, sampler, meta={"label": label})
+            for label, registry, sampler in runs
+        ],
+    }
+
+
+def trace_set_document(runs) -> dict:
+    """Bundle several runs' traces; ``runs`` is ``(label, tracer)`` pairs."""
+    return {
+        "schema": TRACE_SET_SCHEMA_VERSION,
+        "runs": [
+            dict(trace_document(tracer), label=label)
+            for label, tracer in runs
+        ],
+    }
+
+
+def write_json(path: str, document: dict) -> dict:
+    """Write any prepared document to ``path``; returns it unchanged."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
+
+
+def check_metrics_payload(payload: object) -> list[str]:
+    """Validate + reconcile a metrics document *or* a metrics-set bundle.
+
+    The entry point behind the ``check-metrics`` subcommand: dispatches
+    on the ``schema`` tag, prefixing problems from bundled runs with
+    their index and label. Empty list means the payload is sound.
+    """
+    if (
+        isinstance(payload, dict)
+        and payload.get("schema") == METRICS_SET_SCHEMA_VERSION
+    ):
+        runs = payload.get("runs")
+        if not isinstance(runs, list):
+            return ["'runs' missing or not a list"]
+        problems: list[str] = []
+        for index, document in enumerate(runs):
+            label = ""
+            if isinstance(document, dict):
+                label = str(
+                    document.get("meta", {}).get("label", "")
+                    if isinstance(document.get("meta"), dict)
+                    else ""
+                )
+            where = f"runs[{index}]" + (f" ({label})" if label else "")
+            found = validate_metrics_document(document)
+            if not found:
+                found = check_reconciliation(document)
+            problems.extend(f"{where}: {problem}" for problem in found)
+        return problems
+    problems = validate_metrics_document(payload)
+    if problems:
+        return problems
+    return check_reconciliation(payload)
+
+
+# -- Prometheus text format -----------------------------------------------------
+
+
+def _fmt_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(names: tuple[str, ...] | list[str], values) -> str:
+    if not names:
+        return ""
+    parts = ", ".join(
+        f'{name}="{value}"' for name, value in zip(names, values)
+    )
+    return "{" + parts + "}"
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every family in the Prometheus exposition text format."""
+    lines: list[str] = []
+    for family in registry.families():
+        if family.help:
+            lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        if family.kind == "histogram":
+            snapshot = family.snapshot()
+            for row in snapshot["values"]:
+                labels = row["labels"]
+                names = list(labels) + ["le"]
+                cumulative = 0
+                for bound, count in zip(
+                    list(family.buckets) + ["+Inf"],
+                    row["bucket_counts"],
+                ):
+                    cumulative += count
+                    values = list(labels.values()) + [
+                        bound if bound == "+Inf" else _fmt_value(bound)
+                    ]
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_fmt_labels(names, values)} {cumulative}"
+                    )
+                label_text = _fmt_labels(
+                    list(labels), list(labels.values())
+                )
+                lines.append(
+                    f"{family.name}_sum{label_text} {_fmt_value(row['sum'])}"
+                )
+                lines.append(
+                    f"{family.name}_count{label_text} {row['count']}"
+                )
+        else:
+            for label_values, value in family.items():
+                lines.append(
+                    f"{family.name}"
+                    f"{_fmt_labels(family.label_names, label_values)}"
+                    f" {_fmt_value(value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+# -- validation -----------------------------------------------------------------
+
+
+def validate_metrics_document(document: object) -> list[str]:
+    """Structural validation of a metrics document.
+
+    Returns a list of human-readable problems; an empty list means the
+    document conforms to :data:`SCHEMA_VERSION`.
+    """
+    errors: list[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    schema = document.get("schema")
+    if schema != SCHEMA_VERSION:
+        errors.append(
+            f"schema is {schema!r}, expected {SCHEMA_VERSION!r}"
+        )
+    for key in ("meta", "metrics"):
+        if not isinstance(document.get(key), dict):
+            errors.append(f"{key!r} missing or not an object")
+    series = document.get("series")
+    if series is not None:
+        if not isinstance(series, dict):
+            errors.append("'series' must be null or an object")
+        elif not isinstance(series.get("samples"), list):
+            errors.append("'series.samples' missing or not a list")
+        else:
+            for i, row in enumerate(series["samples"]):
+                if not isinstance(row, dict) or not isinstance(
+                    row.get("values"), dict
+                ):
+                    errors.append(f"series.samples[{i}] malformed")
+    metrics = document.get("metrics")
+    if not isinstance(metrics, dict):
+        return errors
+    for name, family in metrics.items():
+        where = f"metrics[{name!r}]"
+        if not isinstance(family, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        kind = family.get("kind")
+        if kind not in KINDS:
+            errors.append(f"{where}.kind is {kind!r}")
+            continue
+        labels = family.get("labels")
+        if not isinstance(labels, list) or not all(
+            isinstance(label, str) for label in labels
+        ):
+            errors.append(f"{where}.labels must be a list of strings")
+            continue
+        values = family.get("values")
+        if not isinstance(values, list):
+            errors.append(f"{where}.values must be a list")
+            continue
+        for i, row in enumerate(values):
+            spot = f"{where}.values[{i}]"
+            if not isinstance(row, dict):
+                errors.append(f"{spot} is not an object")
+                continue
+            row_labels = row.get("labels")
+            if not isinstance(row_labels, dict) or sorted(
+                row_labels
+            ) != sorted(labels):
+                errors.append(
+                    f"{spot}.labels do not match family labels {labels}"
+                )
+            if kind == "histogram":
+                buckets = family.get("buckets")
+                counts = row.get("bucket_counts")
+                if not isinstance(buckets, list):
+                    errors.append(f"{where}.buckets must be a list")
+                elif not isinstance(counts, list) or len(counts) != len(
+                    buckets
+                ) + 1:
+                    errors.append(
+                        f"{spot}.bucket_counts must have "
+                        f"len(buckets)+1 entries"
+                    )
+                if not isinstance(row.get("sum"), (int, float)):
+                    errors.append(f"{spot}.sum must be numeric")
+                if not isinstance(row.get("count"), int):
+                    errors.append(f"{spot}.count must be an integer")
+            else:
+                if not isinstance(row.get("value"), (int, float)):
+                    errors.append(f"{spot}.value must be numeric")
+    return errors
+
+
+# -- reconciliation identities --------------------------------------------------
+
+
+def _scalar_values(
+    metrics: dict, name: str
+) -> dict[tuple[str, ...], float]:
+    """``{label_values: value}`` of one scalar family in a document."""
+    family = metrics.get(name)
+    if not isinstance(family, dict):
+        return {}
+    labels = family.get("labels", [])
+    out: dict[tuple[str, ...], float] = {}
+    for row in family.get("values", []):
+        key = tuple(str(row["labels"][label]) for label in labels)
+        out[key] = float(row["value"])
+    return out
+
+
+def check_reconciliation(document: dict) -> list[str]:
+    """Accounting identities the simulator promises, checked on a document.
+
+    Verified (each only when its families are present):
+
+    * per stage and scope: ``records_in == records_out + drops``;
+    * per scope: ``records_seen == records_deduped + records_unique``;
+    * per scope: ``records_unique == sum(drops)`` (every non-deduped
+      record left the pipeline through exactly one drop reason);
+    * network: ``bytes_delivered <= bytes_sent``;
+    * source cache: exported hits/misses match the engine-scope legacy
+      counters by construction (same instrument), nothing to cross-check.
+
+    Returns a list of violations; empty means all identities hold.
+    """
+    problems: list[str] = []
+    metrics = document.get("metrics")
+    if not isinstance(metrics, dict):
+        return ["document has no 'metrics' object"]
+
+    stage_in = _scalar_values(metrics, "pipeline_stage_records_in_total")
+    stage_out = _scalar_values(metrics, "pipeline_stage_records_out_total")
+    drops = _scalar_values(metrics, "pipeline_drops_total")
+    # drops are labeled (scope, stage, reason); fold to (scope, stage).
+    drops_by_stage: dict[tuple[str, str], float] = {}
+    drops_by_scope: dict[str, float] = {}
+    for (scope, stage, _reason), count in drops.items():
+        drops_by_stage[(scope, stage)] = (
+            drops_by_stage.get((scope, stage), 0.0) + count
+        )
+        drops_by_scope[scope] = drops_by_scope.get(scope, 0.0) + count
+    for key, entered in stage_in.items():
+        scope, stage = key
+        left = stage_out.get(key, 0.0)
+        dropped = drops_by_stage.get((scope, stage), 0.0)
+        if entered != left + dropped:
+            problems.append(
+                f"stage {stage!r} scope {scope!r}: "
+                f"in={entered} != out={left} + drops={dropped}"
+            )
+
+    seen = _scalar_values(metrics, "dedup_records_seen_total")
+    deduped = _scalar_values(metrics, "dedup_records_deduped_total")
+    unique = _scalar_values(metrics, "dedup_records_unique_total")
+    for key, total in seen.items():
+        parts = deduped.get(key, 0.0) + unique.get(key, 0.0)
+        if total != parts:
+            problems.append(
+                f"scope {key}: seen={total} != "
+                f"deduped+unique={parts}"
+            )
+    if stage_in:  # drops only flow when the pipeline ran
+        for key, uniq in unique.items():
+            scope = key[0] if key else "_total"
+            dropped = drops_by_scope.get(scope)
+            if dropped is not None and uniq != dropped:
+                problems.append(
+                    f"scope {scope!r}: unique={uniq} != "
+                    f"sum(drops)={dropped}"
+                )
+
+    sent = _scalar_values(metrics, "network_bytes_sent_total")
+    delivered = _scalar_values(metrics, "network_bytes_delivered_total")
+    for key, nbytes in delivered.items():
+        limit = sent.get(key, 0.0)
+        if nbytes > limit:
+            problems.append(
+                f"network {key}: bytes_delivered={nbytes} > "
+                f"bytes_sent={limit}"
+            )
+    return problems

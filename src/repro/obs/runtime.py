@@ -1,0 +1,68 @@
+"""Ambient observability capture for code that builds its own clusters.
+
+The ``experiment`` subcommand runs table/figure reproductions that
+construct :class:`~repro.db.cluster.Cluster` objects internally, several
+per experiment. Rather than threading exporter plumbing through every
+experiment function, the CLI opens a :func:`capture` context; every
+cluster built inside it registers its observability handles (registry,
+tracer, sampler) here, and the CLI exports them all when the experiment
+finishes.
+
+Captures nest (innermost wins) and are process-local; with no capture
+active, :func:`active_capture` returns None and clusters keep their
+handles to themselves.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+
+class ObsCapture:
+    """Collects the observability handles of clusters built under it.
+
+    Args:
+        trace: enable tracing on captured clusters.
+        sample_seconds / sample_ops: sampler cadence for captured
+            clusters (see :func:`repro.obs.sampler.parse_sample_every`).
+    """
+
+    def __init__(
+        self,
+        trace: bool = False,
+        sample_seconds: float | None = None,
+        sample_ops: int | None = None,
+    ) -> None:
+        self.trace = trace
+        self.sample_seconds = sample_seconds
+        self.sample_ops = sample_ops
+        #: ``(label, cluster)`` in registration order.
+        self.clusters: list[tuple[str, object]] = []
+
+    def register(self, cluster: object) -> None:
+        """Record one cluster; labels are ``run-<n>`` in build order."""
+        self.clusters.append((f"run-{len(self.clusters)}", cluster))
+
+
+_ACTIVE: list[ObsCapture] = []
+
+
+def active_capture() -> ObsCapture | None:
+    """The innermost open capture, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def capture(
+    trace: bool = False,
+    sample_seconds: float | None = None,
+    sample_ops: int | None = None,
+) -> Iterator[ObsCapture]:
+    """Open a capture scope; clusters built inside register into it."""
+    cap = ObsCapture(trace, sample_seconds, sample_ops)
+    _ACTIVE.append(cap)
+    try:
+        yield cap
+    finally:
+        _ACTIVE.pop()

@@ -1,0 +1,123 @@
+"""Periodic registry snapshots: ingest-progress curves for any run.
+
+The paper's time-series figures (e.g. Fig. 14's compression ratio over
+ingested data) were previously only producible by hand-built experiment
+loops. :class:`TimeSeriesSampler` generalizes them: hook it to a
+cluster's operation loop and it records a row of scalar family totals
+every N simulated seconds or every M operations, whichever triggers
+first. Rows are plain dicts, exported inside the metrics JSON document
+(see :mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.registry import MetricsRegistry
+
+_SAMPLE_EVERY_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*(s|sec|ops?)\s*$")
+
+
+def parse_sample_every(spec: str) -> tuple[float | None, int | None]:
+    """Parse a ``--sample-every`` spec into ``(seconds, ops)``.
+
+    ``"10s"`` → every 10 simulated seconds; ``"500ops"`` (or ``"500op"``)
+    → every 500 operations. Exactly one of the returned values is set.
+
+    Raises:
+        ValueError: on anything else.
+    """
+    match = _SAMPLE_EVERY_RE.match(spec)
+    if match is None:
+        raise ValueError(
+            f"invalid --sample-every value {spec!r}; "
+            "use e.g. '10s' (simulated seconds) or '500ops' (operations)"
+        )
+    amount, unit = float(match.group(1)), match.group(2)
+    if amount <= 0:
+        raise ValueError(f"--sample-every must be positive, got {spec!r}")
+    if unit.startswith("op"):
+        return None, int(amount)
+    return amount, None
+
+
+class TimeSeriesSampler:
+    """Records scalar family totals on a simulated-time/op-count cadence.
+
+    Args:
+        registry: the registry to sample.
+        clock: object with a ``now`` float property (the cluster's
+            ``SimClock``); None disables the time trigger.
+        every_seconds: sample when this much simulated time elapsed since
+            the last sample.
+        every_ops: sample every this many :meth:`note_op` calls.
+        metrics: family names to record; None records every scalar
+            (counter/gauge) family present at sample time.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        clock=None,
+        every_seconds: float | None = None,
+        every_ops: int | None = None,
+        metrics: list[str] | None = None,
+    ) -> None:
+        self.registry = registry
+        self.clock = clock
+        self.every_seconds = every_seconds
+        self.every_ops = every_ops
+        self.metrics = list(metrics) if metrics is not None else None
+        self.samples: list[dict] = []
+        self.ops = 0
+        self._last_sample_t = clock.now if clock is not None else 0.0
+        self._last_sample_ops = 0
+
+    def _row(self) -> dict:
+        values: dict[str, float] = {}
+        for family in self.registry.families():
+            if family.kind == "histogram":
+                continue
+            if self.metrics is not None and family.name not in self.metrics:
+                continue
+            values[family.name] = family.total()
+        return {
+            "t_s": self.clock.now if self.clock is not None else 0.0,
+            "ops": self.ops,
+            "values": values,
+        }
+
+    def sample(self) -> dict:
+        """Record one row now, unconditionally, and return it."""
+        row = self._row()
+        self.samples.append(row)
+        self._last_sample_t = row["t_s"]
+        self._last_sample_ops = self.ops
+        return row
+
+    def note_op(self) -> dict | None:
+        """Count one operation; sample if a trigger fired.
+
+        Returns the new row when one was recorded, else None.
+        """
+        self.ops += 1
+        due = (
+            self.every_ops is not None
+            and self.ops - self._last_sample_ops >= self.every_ops
+        )
+        if not due and self.every_seconds is not None and self.clock is not None:
+            due = self.clock.now - self._last_sample_t >= self.every_seconds
+        return self.sample() if due else None
+
+    def finalize(self) -> None:
+        """Record a closing row if anything happened since the last one."""
+        if self.ops != self._last_sample_ops or not self.samples:
+            self.sample()
+
+    def to_dict(self) -> dict:
+        """JSON-ready form: trigger config plus the recorded rows."""
+        return {
+            "every_seconds": self.every_seconds,
+            "every_ops": self.every_ops,
+            "samples": list(self.samples),
+        }

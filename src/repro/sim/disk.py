@@ -11,6 +11,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 
@@ -45,6 +46,9 @@ class SimDisk:
         #: :class:`repro.sim.faults.TransientIOError`, in which case the
         #: request never enters the queue and the caller must retry.
         self.interceptor = None
+        #: Tracer the device attributes ``disk_s`` (service time) to —
+        #: the owning node installs the cluster's shared tracer.
+        self.tracer: Tracer = NULL_TRACER
 
     def _reap(self) -> None:
         now = self.clock.now
@@ -85,6 +89,7 @@ class SimDisk:
         else:
             self.writes += 1
             self.bytes_written += nbytes
+        self.tracer.add_cost("disk_s", service)
         return completes - now
 
     def read(self, nbytes: int) -> float:

@@ -11,6 +11,7 @@ retried batches are not double-counted.
 
 from __future__ import annotations
 
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 
@@ -21,6 +22,9 @@ class SimNetwork:
     def __init__(self, clock: SimClock, costs: CostModel | None = None) -> None:
         self.clock = clock
         self.costs = costs if costs is not None else CostModel()
+        #: Tracer the link attributes ``network_s`` cost to (the cluster
+        #: swaps in its shared tracer; standalone links stay untraced).
+        self.tracer: Tracer = NULL_TRACER
         #: Transfer attempts (including ones that failed delivery).
         self.messages = 0
         #: Bytes of all transfer attempts.
@@ -55,4 +59,6 @@ class SimNetwork:
                 raise
         self.messages_delivered += 1
         self.bytes_delivered += nbytes
-        return self.costs.network_time(nbytes)
+        seconds = self.costs.network_time(nbytes)
+        self.tracer.add_cost("network_s", seconds)
+        return seconds

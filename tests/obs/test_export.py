@@ -1,0 +1,224 @@
+"""Exporters: Prometheus text, JSON documents, validator, reconciliation."""
+
+import json
+
+from repro.obs.export import (
+    METRICS_SET_SCHEMA_VERSION,
+    SCHEMA_VERSION,
+    TRACE_SCHEMA_VERSION,
+    check_metrics_payload,
+    check_reconciliation,
+    metrics_document,
+    metrics_set_document,
+    to_prometheus_text,
+    trace_document,
+    trace_set_document,
+    validate_metrics_document,
+    write_metrics_json,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import TimeSeriesSampler
+from repro.obs.tracing import Tracer
+
+
+class TestPrometheusText:
+    def test_counter_with_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "operations", ("node",)).labels("p").inc(3)
+        text = to_prometheus_text(reg)
+        assert "# HELP ops_total operations" in text
+        assert "# TYPE ops_total counter" in text
+        assert 'ops_total{node="p"} 3' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("sizes", "byte sizes", buckets=(10, 100))
+        for value in (5, 50, 500):
+            hist.observe(value)
+        text = to_prometheus_text(reg)
+        assert 'sizes_bucket{le="10"} 1' in text
+        assert 'sizes_bucket{le="100"} 2' in text
+        assert 'sizes_bucket{le="+Inf"} 3' in text
+        assert "sizes_sum 555" in text
+        assert "sizes_count 3" in text
+
+
+class TestDocumentsAndValidation:
+    def test_valid_document_passes(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "ops", ("scope",)).labels("_total").inc()
+        reg.histogram("sizes", "sizes", buckets=(10,)).observe(5)
+        sampler = TimeSeriesSampler(reg, every_ops=1)
+        sampler.note_op()
+        document = metrics_document(reg, sampler, meta={"seed": 7})
+        assert document["schema"] == SCHEMA_VERSION
+        assert validate_metrics_document(document) == []
+
+    def test_json_round_trip_via_file(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.gauge("depth", "queue depth").set(2)
+        path = tmp_path / "metrics.json"
+        write_metrics_json(str(path), reg)
+        loaded = json.loads(path.read_text())
+        assert validate_metrics_document(loaded) == []
+        assert check_metrics_payload(loaded) == []
+
+    def test_rejects_non_object_and_bad_schema(self):
+        assert validate_metrics_document([]) == [
+            "document is not a JSON object"
+        ]
+        problems = validate_metrics_document(
+            {"schema": "bogus/v9", "meta": {}, "metrics": {}}
+        )
+        assert any("schema" in p for p in problems)
+
+    def test_rejects_malformed_family(self):
+        document = {
+            "schema": SCHEMA_VERSION,
+            "meta": {},
+            "metrics": {
+                "x_total": {
+                    "kind": "counter",
+                    "labels": ["node"],
+                    "values": [{"labels": {"zone": "a"}, "value": 1}],
+                }
+            },
+        }
+        problems = validate_metrics_document(document)
+        assert any("do not match family labels" in p for p in problems)
+
+    def test_rejects_short_bucket_counts(self):
+        document = {
+            "schema": SCHEMA_VERSION,
+            "meta": {},
+            "metrics": {
+                "h": {
+                    "kind": "histogram",
+                    "labels": [],
+                    "buckets": [10, 100],
+                    "values": [
+                        {
+                            "labels": {},
+                            "bucket_counts": [1, 2],  # needs 3 entries
+                            "sum": 3.0,
+                            "count": 3,
+                        }
+                    ],
+                }
+            },
+        }
+        problems = validate_metrics_document(document)
+        assert any("bucket_counts" in p for p in problems)
+
+
+def _scalar_family(labels, rows):
+    return {
+        "kind": "counter",
+        "labels": labels,
+        "values": [
+            {"labels": dict(zip(labels, key)), "value": value}
+            for key, value in rows.items()
+        ],
+    }
+
+
+def _document(metrics):
+    return {"schema": SCHEMA_VERSION, "meta": {}, "metrics": metrics}
+
+
+class TestReconciliation:
+    def test_balanced_pipeline_passes(self):
+        document = _document(
+            {
+                "pipeline_stage_records_in_total": _scalar_family(
+                    ["scope", "stage"], {("_total", "sketch"): 10}
+                ),
+                "pipeline_stage_records_out_total": _scalar_family(
+                    ["scope", "stage"], {("_total", "sketch"): 8}
+                ),
+                "pipeline_drops_total": _scalar_family(
+                    ["scope", "stage", "reason"],
+                    {("_total", "sketch", "too_small"): 2},
+                ),
+            }
+        )
+        assert check_reconciliation(document) == []
+
+    def test_leaky_stage_reported(self):
+        document = _document(
+            {
+                "pipeline_stage_records_in_total": _scalar_family(
+                    ["scope", "stage"], {("_total", "sketch"): 10}
+                ),
+                "pipeline_stage_records_out_total": _scalar_family(
+                    ["scope", "stage"], {("_total", "sketch"): 7}
+                ),
+            }
+        )
+        problems = check_reconciliation(document)
+        assert len(problems) == 1
+        assert "in=10" in problems[0]
+
+    def test_seen_must_equal_deduped_plus_unique(self):
+        document = _document(
+            {
+                "dedup_records_seen_total": _scalar_family(
+                    ["scope"], {("_total",): 10}
+                ),
+                "dedup_records_deduped_total": _scalar_family(
+                    ["scope"], {("_total",): 6}
+                ),
+                "dedup_records_unique_total": _scalar_family(
+                    ["scope"], {("_total",): 3}
+                ),
+            }
+        )
+        problems = check_reconciliation(document)
+        assert len(problems) == 1
+        assert "seen=10" in problems[0]
+
+    def test_delivered_cannot_exceed_sent(self):
+        document = _document(
+            {
+                "network_bytes_sent_total": _scalar_family([], {(): 100}),
+                "network_bytes_delivered_total": _scalar_family(
+                    [], {(): 150}
+                ),
+            }
+        )
+        problems = check_reconciliation(document)
+        assert len(problems) == 1
+        assert "bytes_delivered" in problems[0]
+
+
+class TestBundles:
+    def _single(self, value):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "ops").inc(value)
+        return reg
+
+    def test_metrics_set_document_and_dispatch(self):
+        bundle = metrics_set_document(
+            [("a", self._single(1), None), ("b", self._single(2), None)],
+            meta={"experiment": "fig11"},
+        )
+        assert bundle["schema"] == METRICS_SET_SCHEMA_VERSION
+        assert [run["meta"]["label"] for run in bundle["runs"]] == ["a", "b"]
+        assert check_metrics_payload(bundle) == []
+
+    def test_bundle_problems_are_prefixed_with_run_label(self):
+        bundle = metrics_set_document([("dead", self._single(1), None)])
+        del bundle["runs"][0]["metrics"]
+        problems = check_metrics_payload(bundle)
+        assert problems
+        assert all(p.startswith("runs[0] (dead): ") for p in problems)
+
+    def test_trace_documents(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            pass
+        document = trace_document(tracer)
+        assert document["schema"] == TRACE_SCHEMA_VERSION
+        assert len(document["roots"]) == 1
+        bundle = trace_set_document([("run-1", tracer)])
+        assert bundle["runs"][0]["label"] == "run-1"

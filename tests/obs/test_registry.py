@@ -1,0 +1,148 @@
+"""Metrics registry: instruments, labels, collectors, snapshots."""
+
+import pytest
+
+from repro.obs.registry import (
+    BYTE_BUCKETS,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("ops_total", "operations")
+        assert reg.total("ops_total") == 0
+        counter.inc()
+        counter.inc(4)
+        assert reg.total("ops_total") == 5
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("x_total", "x")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        first = reg.counter("ops_total", "operations")
+        second = reg.counter("ops_total", "operations")
+        assert first is second
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "operations")
+        with pytest.raises(ValueError):
+            reg.gauge("ops_total", "operations")
+
+    def test_label_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "operations", ("node",))
+        with pytest.raises(ValueError):
+            reg.counter("ops_total", "operations", ("scope",))
+
+
+class TestLabels:
+    def test_children_are_independent(self):
+        reg = MetricsRegistry()
+        family = reg.counter("ops_total", "operations", ("node",))
+        family.labels("primary").inc(3)
+        family.labels("secondary0").inc(1)
+        assert reg.value("ops_total", "primary") == 3
+        assert reg.value("ops_total", "secondary0") == 1
+        assert reg.total("ops_total") == 4
+
+    def test_same_labels_same_child(self):
+        family = MetricsRegistry().counter("x_total", "x", ("a", "b"))
+        assert family.labels("1", "2") is family.labels("1", "2")
+
+    def test_wrong_label_arity_rejected(self):
+        family = MetricsRegistry().counter("x_total", "x", ("a", "b"))
+        with pytest.raises(ValueError):
+            family.labels("only-one")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("depth", "queue depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(3)
+        assert reg.value("depth") == 12
+
+    def test_can_go_negative(self):
+        gauge = MetricsRegistry().gauge("delta", "net delta")
+        gauge.dec(7)
+        assert gauge.labels().value == -7
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("record_bytes", "sizes", buckets=(10, 100))
+        for value in (5, 50, 500):
+            hist.observe(value)
+        snapshot = hist.snapshot()["values"][0]
+        assert snapshot["bucket_counts"] == [1, 1, 1]
+        assert snapshot["count"] == 3
+        assert snapshot["sum"] == 555
+
+    def test_boundary_value_goes_in_lower_bucket(self):
+        hist = MetricsRegistry().histogram("h", "h", buckets=(10,))
+        hist.observe(10)
+        assert hist.snapshot()["values"][0]["bucket_counts"] == [1, 0]
+
+    def test_default_bucket_ladders_are_sorted(self):
+        assert list(BYTE_BUCKETS) == sorted(BYTE_BUCKETS)
+        assert list(LATENCY_BUCKETS_S) == sorted(LATENCY_BUCKETS_S)
+
+    def test_histogram_rejects_collectors(self):
+        hist = MetricsRegistry().histogram("h", "h", buckets=(10,))
+        with pytest.raises(ValueError):
+            hist.collect(lambda: {})
+
+
+class TestCollectors:
+    def test_collector_values_appear_at_read_time(self):
+        reg = MetricsRegistry()
+        native = {"count": 0}
+        reg.counter("native_total", "external counter").collect(
+            lambda: {(): native["count"]}
+        )
+        native["count"] = 42
+        assert reg.total("native_total") == 42
+
+    def test_collector_shadows_direct_child(self):
+        reg = MetricsRegistry()
+        family = reg.counter("x_total", "x")
+        family.inc(5)
+        family.collect(lambda: {(): 99})
+        assert reg.total("x_total") == 99
+
+    def test_later_collector_wins_per_key(self):
+        reg = MetricsRegistry()
+        family = reg.counter("x_total", "x", ("node",))
+        family.collect(lambda: {("a",): 1})
+        family.collect(lambda: {("a",): 2})
+        assert reg.value("x_total", "a") == 2
+
+
+class TestSnapshot:
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "operations", ("node",)).labels("p").inc(2)
+        reg.gauge("depth", "queue depth").set(1)
+        reg.histogram("h", "sizes", buckets=(10,)).observe(3)
+        snapshot = reg.snapshot()
+        json.dumps(snapshot)  # must be JSON-serializable as-is
+        assert snapshot["ops_total"]["kind"] == "counter"
+        assert snapshot["ops_total"]["values"][0]["labels"] == {"node": "p"}
+
+    def test_families_sorted_by_name(self):
+        reg = MetricsRegistry()
+        reg.counter("zz_total", "z")
+        reg.counter("aa_total", "a")
+        assert [f.name for f in reg.families()] == ["aa_total", "zz_total"]

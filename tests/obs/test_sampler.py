@@ -1,0 +1,79 @@
+"""Time-series sampler: cadence parsing and trigger behavior."""
+
+import pytest
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import TimeSeriesSampler, parse_sample_every
+from repro.sim.clock import SimClock
+
+
+class TestParseSampleEvery:
+    def test_seconds(self):
+        assert parse_sample_every("10s") == (10.0, None)
+        assert parse_sample_every("0.5 sec") == (0.5, None)
+
+    def test_ops(self):
+        assert parse_sample_every("500ops") == (None, 500)
+        assert parse_sample_every("1 op") == (None, 1)
+
+    @pytest.mark.parametrize("bad", ["", "10", "fast", "10minutes", "-3s", "0s", "0ops"])
+    def test_rejects_garbage(self, bad):
+        with pytest.raises(ValueError):
+            parse_sample_every(bad)
+
+
+class TestTriggers:
+    def test_ops_trigger(self):
+        reg = MetricsRegistry()
+        reg.counter("ops_total", "ops")
+        sampler = TimeSeriesSampler(reg, every_ops=3)
+        for _ in range(7):
+            sampler.note_op()
+        assert len(sampler.samples) == 2
+        assert [row["ops"] for row in sampler.samples] == [3, 6]
+
+    def test_time_trigger_uses_sim_clock(self):
+        clock = SimClock()
+        reg = MetricsRegistry()
+        sampler = TimeSeriesSampler(reg, clock=clock, every_seconds=10.0)
+        sampler.note_op()
+        assert sampler.samples == []
+        clock.advance(10.0)
+        row = sampler.note_op()
+        assert row is not None
+        assert row["t_s"] == 10.0
+
+    def test_rows_carry_scalar_totals_not_histograms(self):
+        reg = MetricsRegistry()
+        reg.counter("seen_total", "seen").inc(4)
+        reg.histogram("record_bytes", "sizes", buckets=(10,)).observe(3)
+        sampler = TimeSeriesSampler(reg, every_ops=1)
+        row = sampler.note_op()
+        assert row["values"] == {"seen_total": 4}
+
+    def test_metrics_filter(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "a").inc()
+        reg.counter("b_total", "b").inc()
+        sampler = TimeSeriesSampler(reg, every_ops=1, metrics=["a_total"])
+        row = sampler.note_op()
+        assert row["values"] == {"a_total": 1}
+
+    def test_finalize_records_trailing_row_once(self):
+        reg = MetricsRegistry()
+        sampler = TimeSeriesSampler(reg, every_ops=10)
+        for _ in range(4):
+            sampler.note_op()
+        sampler.finalize()
+        sampler.finalize()  # idempotent when nothing new happened
+        assert len(sampler.samples) == 1
+        assert sampler.samples[0]["ops"] == 4
+
+    def test_to_dict_shape(self):
+        sampler = TimeSeriesSampler(MetricsRegistry(), every_ops=2)
+        sampler.note_op()
+        sampler.note_op()
+        body = sampler.to_dict()
+        assert body["every_ops"] == 2
+        assert body["every_seconds"] is None
+        assert len(body["samples"]) == 1

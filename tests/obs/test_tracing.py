@@ -1,0 +1,106 @@
+"""Tracing: span trees, cost attribution, suppression, observers."""
+
+from repro.obs.tracing import NOOP_SPAN, NULL_TRACER, Tracer, TracingObserver
+from repro.sim.clock import SimClock
+
+
+class TestSpanTree:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("op:insert"):
+            with tracer.span("stage:sketch"):
+                pass
+            with tracer.span("replicate"):
+                with tracer.span("oplog_ship"):
+                    pass
+        (root,) = tracer.roots
+        assert [child.name for child in root.children] == [
+            "stage:sketch", "replicate",
+        ]
+        assert root.find("oplog_ship") is not None
+
+    def test_sim_clock_stamps_spans(self):
+        clock = SimClock()
+        tracer = Tracer(clock)
+        span = tracer.start_span("op")
+        clock.advance(2.5)
+        tracer.end_span(span)
+        assert span.start_s == 0.0
+        assert span.duration_s == 2.5
+
+    def test_end_closes_dangling_children(self):
+        tracer = Tracer()
+        outer = tracer.start_span("outer")
+        tracer.start_span("inner")  # never explicitly ended
+        tracer.end_span(outer)
+        assert tracer.current is NOOP_SPAN
+        assert outer.children[0].end_s is not None
+
+    def test_costs_sum_up_the_subtree(self):
+        tracer = Tracer()
+        with tracer.span("op"):
+            tracer.add_cost("cpu_s", 0.5)
+            with tracer.span("child"):
+                tracer.add_cost("cpu_s", 0.25)
+                tracer.add_cost("disk_s", 1.0)
+        (root,) = tracer.roots
+        assert root.total_costs() == {"cpu_s": 0.75, "disk_s": 1.0}
+        assert root.costs == {"cpu_s": 0.5}
+
+    def test_cost_with_no_open_span_is_dropped(self):
+        tracer = Tracer()
+        tracer.add_cost("disk_s", 1.0)  # must not raise
+        assert tracer.roots == []
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        tracer = Tracer()
+        with tracer.span("op", record_id="r1"):
+            tracer.add_cost("cpu_s", 0.1)
+        body = tracer.roots[0].to_dict()
+        json.dumps(body)
+        assert body["annotations"] == {"record_id": "r1"}
+        assert body["costs"] == {"cpu_s": 0.1}
+
+
+class TestDisabledAndSuppressed:
+    def test_null_tracer_records_nothing(self):
+        span = NULL_TRACER.start_span("anything")
+        span.add_cost("cpu_s", 1.0)
+        NULL_TRACER.end_span(span)
+        assert span is NOOP_SPAN
+        assert NULL_TRACER.roots == []
+
+    def test_max_roots_caps_memory(self):
+        tracer = Tracer(max_roots=2)
+        for _ in range(5):
+            with tracer.span("op"):
+                with tracer.span("child"):
+                    pass
+        assert len(tracer.roots) == 2
+        assert tracer.dropped_roots == 3
+        # Suppression must unwind: children of dropped roots never leak
+        # in as fresh roots.
+        assert all(root.name == "op" for root in tracer.roots)
+
+
+class TestTracingObserver:
+    def test_stage_spans_with_cpu_and_drop_reason(self):
+        class Ctx:
+            record_id = "r1"
+
+        tracer = Tracer()
+        observer = TracingObserver(tracer)
+        root = tracer.start_span("op:insert")
+        observer.on_stage_start("sketch", Ctx())
+        observer.on_stage_end("sketch", Ctx(), 0.25)
+        observer.on_stage_start("source_select", Ctx())
+        observer.on_drop("source_select", Ctx(), "no_candidate")
+        observer.on_stage_end("source_select", Ctx(), 0.0)
+        tracer.end_span(root)
+        sketch = root.find("stage:sketch")
+        select = root.find("stage:source_select")
+        assert sketch.costs == {"cpu_s": 0.25}
+        assert select.costs == {}
+        assert select.annotations["drop_reason"] == "no_candidate"

@@ -19,6 +19,30 @@ class TestParser:
         assert args.workload == "wikipedia"
         assert args.encoding == "hop"
         assert not args.no_dedup
+        assert args.metrics_out is None
+        assert args.trace_out is None
+        assert args.sample_every is None
+
+    @pytest.mark.parametrize("command", [
+        ["run"],
+        ["trace-replay", "some.trace"],
+        ["experiment", "fig11"],
+    ])
+    def test_observability_flags_round_trip(self, command):
+        args = build_parser().parse_args(command + [
+            "--metrics-out", "m.json",
+            "--trace-out", "t.json",
+            "--sample-every", "10s",
+        ])
+        assert args.metrics_out == "m.json"
+        assert args.trace_out == "t.json"
+        assert args.sample_every == "10s"
+
+    def test_check_metrics_requires_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check-metrics"])
+        args = build_parser().parse_args(["check-metrics", "m.json"])
+        assert args.path == "m.json"
 
 
 class TestCommands:
@@ -86,6 +110,58 @@ class TestCommands:
         assert main(["trace-replay", path, "--check-invariants"]) == 0
         out = capsys.readouterr().out
         assert "cluster invariants OK" in out
+
+    def test_run_exports_observability_documents(self, capsys, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "run", "--workload", "enron", "--target-bytes", "120000",
+            "--metrics-out", str(metrics_path),
+            "--trace-out", str(trace_path),
+            "--sample-every", "50ops",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "wrote metrics to" in out
+        assert "source cache:" in out
+        assert "write-back cache:" in out
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["schema"] == "repro.metrics/v1"
+        assert metrics["series"]["samples"]
+        trace = json.loads(trace_path.read_text())
+        assert trace["schema"] == "repro.trace/v1"
+        assert trace["roots"]
+
+    def test_check_metrics_accepts_exported_run(self, capsys, tmp_path):
+        metrics_path = tmp_path / "metrics.json"
+        assert main([
+            "run", "--workload", "enron", "--target-bytes", "60000",
+            "--metrics-out", str(metrics_path),
+        ]) == 0
+        assert main(["check-metrics", str(metrics_path)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_check_metrics_rejects_bad_documents(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "bogus/v9"}')
+        assert main(["check-metrics", str(bad)]) == 1
+        assert "PROBLEM" in capsys.readouterr().out
+        assert main(["check-metrics", str(tmp_path / "missing.json")]) == 1
+
+    def test_experiment_exports_metrics_bundle(self, capsys, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "bundle.json"
+        assert main([
+            "experiment", "fig13b",
+            "--metrics-out", str(metrics_path),
+        ]) == 0
+        bundle = json.loads(metrics_path.read_text())
+        assert bundle["schema"] == "repro.metrics-set/v1"
+        assert bundle["runs"]
+        assert all(run["meta"]["label"] for run in bundle["runs"])
+        assert main(["check-metrics", str(metrics_path)]) == 0
 
     def test_check_invariants_reports_violations(self, capsys, monkeypatch):
         from repro.db.cluster import Cluster

@@ -42,6 +42,16 @@ class TestRunningStats:
         assert stats.minimum == min(values)
         assert stats.maximum == max(values)
 
+    @given(st.lists(st.floats(-1e4, 1e4), min_size=2, max_size=200))
+    def test_variance_matches_two_pass_reference(self, values):
+        stats = RunningStats()
+        for value in values:
+            stats.add(value)
+        mean = sum(values) / len(values)
+        reference = sum((v - mean) ** 2 for v in values) / len(values)
+        assert stats.variance == pytest.approx(reference, abs=1e-6)
+        assert stats.stddev == pytest.approx(math.sqrt(reference), abs=1e-6)
+
 
 class TestPercentile:
     def test_median_of_odd_list(self):
@@ -62,6 +72,12 @@ class TestPercentile:
     def test_out_of_range_raises(self):
         with pytest.raises(ValueError):
             percentile([1.0], 150)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    @given(st.floats(0, 100))
+    def test_single_element_is_its_own_percentile(self, pct):
+        assert percentile([7.5], pct) == 7.5
 
     @given(
         st.lists(st.floats(0, 1e9), min_size=1, max_size=100),
@@ -91,6 +107,10 @@ class TestCdf:
 
     def test_weighted_cdf_zero_weight_total(self):
         assert weighted_cdf_points([1.0], [0.0]) == []
+
+    def test_weighted_cdf_negative_weight_total(self):
+        # A net-negative total has no meaningful CDF; treat like zero.
+        assert weighted_cdf_points([1.0, 2.0], [1.0, -3.0]) == []
 
     def test_weighted_cdf_monotone(self):
         points = weighted_cdf_points([5.0, 1.0, 3.0], [2.0, 1.0, 4.0])
