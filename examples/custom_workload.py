@@ -16,7 +16,7 @@ import tempfile
 from collections.abc import Iterator
 from pathlib import Path
 
-from repro import Cluster, ClusterConfig, DedupConfig, Operation
+from repro import ClusterSpec, DedupConfig, Operation, open_cluster
 from repro.analysis import profile_corpus
 from repro.workloads.base import Workload
 from repro.workloads.trace_io import load_trace_file, save_trace
@@ -91,19 +91,19 @@ def main() -> None:
           f"{profile.cross_record_duplication * 100:.0f}% -> dedup should win\n")
 
     # 2. Measure.
-    cluster = Cluster(ClusterConfig(dedup=DedupConfig(chunk_size=64)))
-    result = cluster.run(workload.insert_trace())
+    client = open_cluster(ClusterSpec(dedup=DedupConfig(chunk_size=64)))
+    result = client.run(workload.insert_trace())
     print(f"measured: storage {result.storage_compression_ratio:.1f}x, "
           f"network {result.network_compression_ratio:.1f}x, "
           f"index {result.index_memory_bytes / 1024:.1f} KB")
-    print(cluster.primary.engine.describe())
+    print(client.cluster.primary.engine.describe())
 
     # 3. Persist the exact trace for the next benchmarking session.
     with tempfile.TemporaryDirectory() as tmp:
         path = Path(tmp) / "config.trace"
         size = save_trace(workload.insert_trace(), path)
-        replayed = Cluster(
-            ClusterConfig(dedup=DedupConfig(chunk_size=64))
+        replayed = open_cluster(
+            ClusterSpec(dedup=DedupConfig(chunk_size=64))
         ).run(load_trace_file(path))
         print(f"\ntrace file: {size / 1e6:.2f} MB; replayed run matches: "
               f"{replayed.stored_bytes == result.stored_bytes}")

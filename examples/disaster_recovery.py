@@ -12,26 +12,27 @@ Run:  python examples/disaster_recovery.py
 import tempfile
 from pathlib import Path
 
-from repro import Cluster, ClusterConfig, DedupConfig, WikipediaWorkload
+from repro import ClusterSpec, DedupConfig, WikipediaWorkload, open_cluster
 from repro.db.recovery import replay_oplog
 from repro.db.snapshot import load_snapshot, save_snapshot
 
 
 def main() -> None:
-    cluster = Cluster(
-        ClusterConfig(dedup=DedupConfig(chunk_size=64), num_secondaries=2)
+    client = open_cluster(
+        ClusterSpec(dedup=DedupConfig(chunk_size=64), num_secondaries=2)
     )
     workload = WikipediaWorkload(seed=42, target_bytes=400_000)
     ops = list(workload.insert_trace())
     for op in ops:
-        cluster.execute(op)
-    cluster.finalize()
+        client.insert(op.database, op.record_id, op.content)
+    client.finalize()
+    cluster = client.cluster
     primary_db = cluster.primary.db
 
     print(f"loaded {len(ops)} records "
           f"({primary_db.logical_raw_bytes / 1e6:.2f} MB raw, "
           f"{primary_db.stored_bytes / 1e6:.2f} MB stored)")
-    print(f"secondaries in sync: {cluster.replicas_converged()} "
+    print(f"secondaries in sync: {client.replicas_converged()} "
           f"(x{len(cluster.secondaries)})")
 
     # --- snapshot & restore -------------------------------------------------

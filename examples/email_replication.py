@@ -9,7 +9,7 @@ link, then verifies the two replicas converged to identical contents.
 Run:  python examples/email_replication.py
 """
 
-from repro import Cluster, ClusterConfig, DedupConfig, EnronWorkload
+from repro import ClusterSpec, DedupConfig, EnronWorkload, open_cluster
 from repro.bench.report import render_table
 
 TARGET_BYTES = 600_000
@@ -17,19 +17,19 @@ SEED = 23
 
 
 def run(dedup_enabled: bool):
-    config = ClusterConfig(
+    spec = ClusterSpec(
         dedup=DedupConfig(chunk_size=64),
         dedup_enabled=dedup_enabled,
     )
-    cluster = Cluster(config)
+    client = open_cluster(spec)
     workload = EnronWorkload(seed=SEED, target_bytes=TARGET_BYTES)
-    result = cluster.run(workload.mixed_trace())
-    return cluster, result
+    result = client.run(workload.mixed_trace())
+    return client, result
 
 
 def main() -> None:
-    baseline_cluster, baseline = run(dedup_enabled=False)
-    dedup_cluster, deduped = run(dedup_enabled=True)
+    baseline_client, baseline = run(dedup_enabled=False)
+    dedup_client, deduped = run(dedup_enabled=True)
 
     print(
         render_table(
@@ -57,9 +57,9 @@ def main() -> None:
     saved = baseline.network_bytes - deduped.network_bytes
     print(f"\nbandwidth saved: {saved / 1e6:.2f} MB "
           f"({saved / baseline.network_bytes * 100:.0f}% of baseline)")
-    print(f"secondary converged: {dedup_cluster.replicas_converged()}")
+    print(f"secondary converged: {dedup_client.replicas_converged()}")
 
-    stats = dedup_cluster.primary.engine.stats
+    stats = dedup_client.cluster.primary.engine.stats
     print(f"dedup hit rate: {stats.dedup_hit_ratio * 100:.0f}% of messages "
           f"found a similar prior message")
     print(f"source-cache miss ratio: {stats.source_cache_miss_ratio * 100:.1f}%")

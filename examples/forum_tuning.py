@@ -13,7 +13,7 @@ Run:  python examples/forum_tuning.py
 
 import random
 
-from repro import Cluster, ClusterConfig, DedupConfig, MessageBoardsWorkload, Operation
+from repro import ClusterSpec, DedupConfig, MessageBoardsWorkload, open_cluster
 from repro.bench.report import render_table
 
 TARGET_BYTES = 500_000
@@ -24,14 +24,14 @@ def sweep_knobs() -> None:
     rows = []
     for chunk_size in (1024, 256, 64):
         for anchor_interval in (64, 16):
-            config = ClusterConfig(
+            spec = ClusterSpec(
                 dedup=DedupConfig(
                     chunk_size=chunk_size, anchor_interval=anchor_interval
                 )
             )
-            cluster = Cluster(config)
+            client = open_cluster(spec)
             workload = MessageBoardsWorkload(seed=SEED, target_bytes=TARGET_BYTES)
-            result = cluster.run(workload.insert_trace())
+            result = client.run(workload.insert_trace())
             rows.append(
                 (
                     f"chunk={chunk_size}",
@@ -51,13 +51,12 @@ def sweep_knobs() -> None:
 
 
 def show_size_filter() -> None:
-    config = ClusterConfig(
-        dedup=DedupConfig(chunk_size=64, size_filter_interval=200)
+    client = open_cluster(
+        ClusterSpec(dedup=DedupConfig(chunk_size=64, size_filter_interval=200))
     )
-    cluster = Cluster(config)
     workload = MessageBoardsWorkload(seed=SEED, target_bytes=TARGET_BYTES)
-    cluster.run(workload.insert_trace())
-    engine = cluster.primary.engine
+    client.run(workload.insert_trace())
+    engine = client.cluster.primary.engine
     print()
     print(
         f"size filter: learned cut-off "
@@ -69,18 +68,14 @@ def show_size_filter() -> None:
 
 def show_governor() -> None:
     # A database of pure random blobs: no redundancy whatsoever.
-    config = ClusterConfig(
-        dedup=DedupConfig(chunk_size=64, governor_window=200)
+    client = open_cluster(
+        ClusterSpec(dedup=DedupConfig(chunk_size=64, governor_window=200))
     )
-    cluster = Cluster(config)
     rng = random.Random(SEED)
     for index in range(260):
         blob = bytes(rng.randrange(256) for _ in range(1500))
-        cluster.execute(
-            Operation(kind="insert", database="blobstore",
-                      record_id=f"blob/{index}", content=blob)
-        )
-    engine = cluster.primary.engine
+        client.insert("blobstore", f"blob/{index}", blob)
+    engine = client.cluster.primary.engine
     print()
     print(
         f"governor: dedup enabled for 'blobstore' after 260 inserts? "

@@ -1,24 +1,26 @@
 #!/usr/bin/env python3
-"""Quickstart: deduplicating versioned records in a replicated database.
+"""Quickstart: deduplicating versioned records through the public API.
 
-Builds a one-primary/one-secondary cluster with dbDedup enabled, inserts a
-handful of document revisions, and shows what the engine did: forward-
-encoded oplog entries on the wire, backward-encoded records on disk, and
-the newest version still readable with zero decode steps.
+Opens a one-primary/one-secondary deployment with dbDedup enabled via
+``repro.api`` (the supported entry point), inserts a handful of document
+revisions through the :class:`~repro.api.DedupClient` facade, and shows
+what the engine did: forward-encoded oplog entries on the wire,
+backward-encoded records on disk, and the newest version still readable
+with zero decode steps.
 
 Run:  python examples/quickstart.py
 """
 
 import random
 
-from repro import Cluster, ClusterConfig, DedupConfig, Operation
+from repro import ClusterSpec, DedupConfig, open_cluster
 from repro.workloads.edits import revise
 from repro.workloads.text import TextGenerator
 
 
 def main() -> None:
-    cluster = Cluster(
-        ClusterConfig(
+    client = open_cluster(
+        ClusterSpec(
             dedup=DedupConfig(chunk_size=64, size_filter_enabled=False),
             block_compression="snappy",
         )
@@ -30,41 +32,31 @@ def main() -> None:
     text_gen = TextGenerator(seed=7)
     body = text_gen.document(6000)
     for version in range(10):
-        cluster.execute(
-            Operation(
-                kind="insert",
-                database="demo",
-                record_id=f"doc/{version}",
-                content=body.encode(),
-            )
-        )
+        client.insert("demo", f"doc/{version}", body.encode())
         body = revise(rng, text_gen, body)
 
     # Let the write-back cache drain so old versions are delta-encoded.
-    cluster.finalize()
+    client.finalize()
 
     # Read every version back (old ones decode through their delta chain).
+    cluster = client.cluster  # peek under the facade for decode costs
     for version in range(10):
         record_id = f"doc/{version}"
         steps = cluster.primary.db.decode_cost(record_id)
-        content, latency = cluster.primary.read("demo", record_id)
-        cluster.clock.advance(latency)
+        content = client.read("demo", record_id)
         assert content is not None
-        print(
-            f"{record_id}: {len(content):6d} B, decode steps {steps}, "
-            f"read latency {latency * 1e3:.2f} ms"
-        )
-    db = cluster.primary.db
-    stats = cluster.primary.engine.stats
+        print(f"{record_id}: {len(content):6d} B, decode steps {steps}")
+
+    stats = client.stats()
     print()
-    print(f"raw corpus:            {db.logical_raw_bytes:8d} B")
-    print(f"stored after dedup:    {db.stored_bytes:8d} B "
-          f"({db.logical_raw_bytes / db.stored_bytes:.1f}x)")
-    print(f"stored after + snappy: {db.physical_bytes():8d} B "
-          f"({db.logical_raw_bytes / db.physical_bytes():.1f}x)")
-    print(f"replicated bytes:      {cluster.network.bytes_sent:8d} B "
-          f"({stats.bytes_in / cluster.network.bytes_sent:.1f}x)")
-    print(f"replicas converged:    {cluster.replicas_converged()}")
+    print(f"raw corpus:            {stats['logical_bytes']:8d} B")
+    print(f"stored after dedup:    {stats['stored_bytes']:8d} B "
+          f"({stats['storage_compression_ratio']:.1f}x)")
+    print(f"stored after + snappy: {stats['physical_bytes']:8d} B "
+          f"({stats['logical_bytes'] / stats['physical_bytes']:.1f}x)")
+    print(f"replicated bytes:      {stats['network_bytes']:8d} B "
+          f"({stats['network_compression_ratio']:.1f}x)")
+    print(f"replicas converged:    {client.replicas_converged()}")
     print(f"latest version reads with "
           f"{cluster.primary.db.decode_cost('doc/9')} decode steps")
 

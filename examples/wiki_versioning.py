@@ -11,17 +11,17 @@ Run:  python examples/wiki_versioning.py
 
 from itertools import islice
 
-from repro import Cluster, ClusterConfig, DedupConfig, WikipediaWorkload
+from repro import ClusterSpec, DedupConfig, WikipediaWorkload, open_cluster
 from repro.bench.report import render_table
 
 TARGET_BYTES = 800_000
 SEED = 17
 
 
-def run_configuration(label: str, config: ClusterConfig):
-    cluster = Cluster(config)
+def run_configuration(label: str, spec: ClusterSpec):
+    client = open_cluster(spec)
     workload = WikipediaWorkload(seed=SEED, target_bytes=TARGET_BYTES)
-    result = cluster.run(workload.insert_trace())
+    result = client.run(workload.insert_trace())
     return (
         label,
         result.storage_compression_ratio,
@@ -33,16 +33,16 @@ def run_configuration(label: str, config: ClusterConfig):
 
 def compare_configurations() -> None:
     rows = [
-        run_configuration("original", ClusterConfig(dedup_enabled=False)),
+        run_configuration("original", ClusterSpec(dedup_enabled=False)),
         run_configuration(
-            "snappy", ClusterConfig(dedup_enabled=False, block_compression="snappy")
+            "snappy", ClusterSpec(dedup_enabled=False, block_compression="snappy")
         ),
         run_configuration(
-            "dbDedup", ClusterConfig(dedup=DedupConfig(chunk_size=64))
+            "dbDedup", ClusterSpec(dedup=DedupConfig(chunk_size=64))
         ),
         run_configuration(
             "dbDedup+snappy",
-            ClusterConfig(
+            ClusterSpec(
                 dedup=DedupConfig(chunk_size=64), block_compression="snappy"
             ),
         ),
@@ -60,18 +60,18 @@ def compare_encodings() -> None:
     print()
     rows = []
     for encoding in ("backward", "version-jumping", "hop"):
-        config = ClusterConfig(
+        spec = ClusterSpec(
             dedup=DedupConfig(
                 chunk_size=64, encoding=encoding, hop_distance=8,
                 size_filter_enabled=False,
             )
         )
-        cluster = Cluster(config)
+        client = open_cluster(spec)
         workload = WikipediaWorkload(
             seed=SEED, target_bytes=10**9, num_articles=1, median_article_bytes=3000
         )
-        cluster.run(islice(workload.insert_trace(), 60))
-        db = cluster.primary.db
+        client.run(islice(workload.insert_trace(), 60))
+        db = client.cluster.primary.db
         oldest = "wiki/0/0"
         rows.append(
             (

@@ -7,17 +7,18 @@ defined chunking, feature indexes, specialized caches, a document DBMS with
 replication, a discrete-event cost model — plus the paper's baselines and
 workload generators.
 
-Quick start::
+Quick start (the supported entry point is :mod:`repro.api`)::
 
-    from repro import Cluster, ClusterConfig, DedupConfig, WikipediaWorkload
+    from repro import ClusterSpec, DedupConfig, WikipediaWorkload, open_cluster
 
-    cluster = Cluster(ClusterConfig(dedup=DedupConfig(chunk_size=1024)))
+    client = open_cluster(ClusterSpec(dedup=DedupConfig(chunk_size=1024)))
     workload = WikipediaWorkload(seed=7, target_bytes=1_000_000)
-    result = cluster.run(workload.insert_trace())
+    result = client.run(workload.insert_trace())
     print(f"{result.storage_compression_ratio:.1f}x storage, "
           f"{result.network_compression_ratio:.1f}x network")
 """
 
+from repro.api import ClusterSpec, DedupClient, open_cluster
 from repro.baselines import TradDedupEngine
 from repro.core import (
     DedupConfig,
@@ -45,6 +46,9 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ClusterSpec",
+    "DedupClient",
+    "open_cluster",
     "DedupConfig",
     "DedupEngine",
     "DedupGovernor",

@@ -1,0 +1,172 @@
+"""The public client facade: :func:`open_cluster` and :class:`DedupClient`.
+
+Callers describe a deployment with one :class:`~repro.api.ClusterSpec`
+and get back a :class:`DedupClient` whose methods are ordinary CRUD plus
+the lifecycle hooks experiments need (``run``, ``checkpoint``,
+``stats``, ``check_invariants``). Whether the deployment is a plain
+single-primary :class:`~repro.db.cluster.Cluster` or a hash-sharded
+:class:`~repro.db.sharding.ShardedCluster` is an implementation detail
+selected by ``spec.shards``; both expose the same operation surface, so
+the client never branches on topology.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.api.spec import ClusterSpec
+from repro.db.cluster import Cluster, RunResult
+from repro.db.sharding import ShardedCluster
+from repro.workloads.base import Operation
+
+
+def open_cluster(spec: ClusterSpec | None = None, **overrides) -> "DedupClient":
+    """Build a running deployment from a spec; the public entry point.
+
+    Call with a :class:`ClusterSpec`, with keyword overrides applied on
+    top of the defaults (``open_cluster(shards=4, trace=True)``), or with
+    both (overrides win). ``spec.shards == 1`` yields a plain cluster,
+    anything larger a sharded topology.
+    """
+    if spec is None:
+        spec = ClusterSpec(**overrides)
+    elif overrides:
+        spec = ClusterSpec(**{**spec.__dict__, **overrides})
+    if spec.shards == 1:
+        cluster = Cluster.from_spec(spec)
+    else:
+        cluster = ShardedCluster.from_spec(spec)
+    return DedupClient(cluster, spec)
+
+
+class DedupClient:
+    """Operation facade over a (possibly sharded) running deployment.
+
+    Obtain one from :func:`open_cluster`; the constructor is public for
+    wrapping an existing cluster (e.g. one built by a benchmark helper).
+    All mutation latencies are simulated seconds.
+    """
+
+    def __init__(
+        self, cluster: Cluster | ShardedCluster, spec: ClusterSpec | None = None
+    ) -> None:
+        self._cluster = cluster
+        self._spec = spec
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def cluster(self) -> Cluster | ShardedCluster:
+        """The underlying deployment (escape hatch for experiment code)."""
+        return self._cluster
+
+    @property
+    def spec(self) -> ClusterSpec | None:
+        """The spec this client was opened with (None when wrapped)."""
+        return self._spec
+
+    @property
+    def shards(self) -> int:
+        """Number of shards (1 for a plain cluster)."""
+        if isinstance(self._cluster, ShardedCluster):
+            return len(self._cluster.shards)
+        return 1
+
+    @property
+    def clock(self):
+        """The deployment's simulated clock."""
+        return self._cluster.clock
+
+    @property
+    def registry(self):
+        """Metrics registry (merged, shard-labeled view when sharded)."""
+        return self._cluster.registry
+
+    @property
+    def tracer(self):
+        """The deployment's tracer."""
+        return self._cluster.tracer
+
+    # -- CRUD -----------------------------------------------------------------
+
+    def insert(self, database: str, record_id: str, content: bytes) -> float:
+        """Insert one record; returns the client latency in seconds."""
+        return self._cluster.execute(
+            Operation("insert", database, record_id, content)
+        )
+
+    def insert_many(
+        self, records: Iterable[tuple[str, str, bytes]]
+    ) -> float:
+        """Insert records as one client batch; returns the batch latency.
+
+        On a sharded deployment the batch splits per shard and the
+        sub-batches run concurrently in simulated time.
+        """
+        ops = [
+            Operation("insert", database, record_id, content)
+            for database, record_id, content in records
+        ]
+        if not ops:
+            return 0.0
+        return self._cluster.execute_insert_batch(ops)
+
+    def read(self, database: str, record_id: str) -> bytes | None:
+        """Read one record's content (None when absent)."""
+        content, _latency = self._cluster.client_read(database, record_id)
+        return content
+
+    def update(self, database: str, record_id: str, content: bytes) -> float:
+        """Update one record; returns the client latency in seconds."""
+        return self._cluster.execute(
+            Operation("update", database, record_id, content)
+        )
+
+    def delete(self, database: str, record_id: str) -> float:
+        """Delete one record; returns the client latency in seconds."""
+        return self._cluster.execute(
+            Operation("delete", database, record_id)
+        )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def run(
+        self,
+        operations: Iterable[Operation],
+        timeline_bucket_s: float | None = None,
+    ) -> RunResult:
+        """Execute a workload trace end to end; see :meth:`Cluster.run
+        <repro.db.cluster.Cluster.run>`."""
+        if timeline_bucket_s is None:
+            return self._cluster.run(operations)
+        return self._cluster.run(operations, timeline_bucket_s)
+
+    def finalize(self) -> None:
+        """Drain replication links and write-back caches."""
+        self._cluster.finalize()
+
+    def checkpoint(self, path) -> int:
+        """Checkpoint the oplog(s) under ``path``; returns bytes truncated."""
+        return self._cluster.checkpoint(path)
+
+    # -- health ---------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Topology summary: byte counters, compression ratios, and —
+        when sharded — the router's cross-shard accounting."""
+        return self._cluster.summary_stats()
+
+    def replicas_converged(self) -> bool:
+        """True when every replica matches its primary."""
+        return self._cluster.replicas_converged()
+
+    def check_invariants(self, *, drain: bool = True, strict: bool = True):
+        """Run the full invariant sweep; returns the
+        :class:`~repro.db.invariants.InvariantReport`."""
+        from repro.db.invariants import check_cluster, check_sharded_cluster
+
+        if isinstance(self._cluster, ShardedCluster):
+            return check_sharded_cluster(
+                self._cluster, drain=drain, strict=strict
+            )
+        return check_cluster(self._cluster, drain=drain, strict=strict)

@@ -1,0 +1,99 @@
+"""The one configuration object the public API accepts.
+
+Before the API redesign, deployment knobs were duplicated across three
+constructor signatures (``Cluster``, ``PrimaryNode``, ``DedupEngine``)
+and every caller re-wired them by hand. :class:`ClusterSpec` is the
+single consolidated, frozen, keyword-only description of a deployment;
+:func:`repro.api.open_cluster` turns it into a running single-primary
+:class:`~repro.db.cluster.Cluster` or hash-sharded
+:class:`~repro.db.sharding.ShardedCluster` depending on ``shards``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import DedupConfig
+from repro.db.cluster import ClusterConfig
+from repro.db.replication import DEFAULT_BATCH_BYTES
+from repro.db.sharding import PLACEMENTS
+from repro.sim.costs import CostModel
+
+
+@dataclass(frozen=True, kw_only=True)
+class ClusterSpec:
+    """Frozen, keyword-only description of a deployment.
+
+    Deployment-shape fields mirror
+    :class:`~repro.db.cluster.ClusterConfig` one-to-one (see that class
+    for semantics); the spec adds the topology axis (``shards``,
+    ``placement``), the cost model, and the observability knobs that
+    previously rode as loose constructor kwargs.
+
+    Attributes:
+        dedup: dbDedup engine parameters (defaults to :class:`DedupConfig`).
+        dedup_enabled: False for the no-dedup baselines.
+        block_compression: page compressor: 'none', 'snappy', 'zlib'.
+        batch_compression: oplog-batch compressor before transfer.
+        use_writeback_cache: False disables the encode write-back cache.
+        oplog_batch_bytes: replication batching threshold.
+        page_size: storage page size in bytes.
+        insert_batch_size: client insert coalescing factor (>= 1).
+        num_secondaries: replicas per shard (>= 1).
+        read_preference: 'primary' or 'secondary'.
+        physical_storage: use the slotted-page/buffer-pool engine.
+        shards: number of independent shards (1 = plain cluster).
+        placement: 'hash' (uniform) or 'prefix' (locality-preserving) —
+            see :class:`~repro.db.sharding.ShardRouter`.
+        costs: cost model (defaults to :class:`CostModel`).
+        trace: enable sim-clock span tracing.
+        sample_every_s: sampler cadence in simulated seconds.
+        sample_every_ops: sampler cadence in client operations.
+    """
+
+    dedup: DedupConfig = field(default_factory=DedupConfig)
+    dedup_enabled: bool = True
+    block_compression: str = "none"
+    batch_compression: str = "none"
+    use_writeback_cache: bool = True
+    oplog_batch_bytes: int = DEFAULT_BATCH_BYTES
+    page_size: int = 32 * 1024
+    insert_batch_size: int = 1
+    num_secondaries: int = 1
+    read_preference: str = "primary"
+    physical_storage: bool = False
+    shards: int = 1
+    placement: str = "hash"
+    costs: CostModel | None = None
+    trace: bool = False
+    sample_every_s: float | None = None
+    sample_every_ops: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, "
+                f"got {self.placement!r}"
+            )
+        # Delegate the per-shard validation (batch size, secondaries,
+        # read preference) to ClusterConfig so a bad spec fails at
+        # construction, not first use.
+        self.to_cluster_config()
+
+    def to_cluster_config(self) -> ClusterConfig:
+        """The per-shard :class:`ClusterConfig` this spec describes."""
+        return ClusterConfig(
+            dedup=self.dedup,
+            dedup_enabled=self.dedup_enabled,
+            block_compression=self.block_compression,
+            batch_compression=self.batch_compression,
+            use_writeback_cache=self.use_writeback_cache,
+            oplog_batch_bytes=self.oplog_batch_bytes,
+            page_size=self.page_size,
+            insert_batch_size=self.insert_batch_size,
+            num_secondaries=self.num_secondaries,
+            read_preference=self.read_preference,
+            physical_storage=self.physical_storage,
+        )

@@ -69,7 +69,7 @@ def sketch_sweep(
     for chunk_size in chunk_sizes:
         for top_k in top_ks:
             dedup = DedupConfig(chunk_size=chunk_size, top_k=top_k)
-            cluster = Cluster(ClusterConfig(dedup=dedup))
+            cluster = Cluster(config=ClusterConfig(dedup=dedup))
             workload = make_workload(
                 workload_name, seed=seed, target_bytes=target_bytes
             )
@@ -131,7 +131,7 @@ def encoding_sweep(
     for workload_name in workloads:
         for encoding in encodings:
             dedup = DedupConfig(chunk_size=64, encoding=encoding)
-            cluster = Cluster(ClusterConfig(dedup=dedup))
+            cluster = Cluster(config=ClusterConfig(dedup=dedup))
             workload = make_workload(
                 workload_name, seed=seed, target_bytes=target_bytes
             )
@@ -184,7 +184,7 @@ def writeback_capacity_sweep(
     rows = []
     for capacity in capacities:
         dedup = DedupConfig(chunk_size=64, writeback_cache_bytes=capacity)
-        cluster = Cluster(ClusterConfig(dedup=dedup))
+        cluster = Cluster(config=ClusterConfig(dedup=dedup))
         workload = make_workload("wikipedia", seed=seed, target_bytes=target_bytes)
         result = cluster.run(workload.insert_trace())
         cache = cluster.primary.db.writeback_cache
@@ -261,7 +261,7 @@ def compaction_ablation(
     from repro.workloads.wikipedia import WikipediaWorkload
 
     cluster = Cluster(
-        ClusterConfig(dedup=DedupConfig(chunk_size=64))
+        config=ClusterConfig(dedup=DedupConfig(chunk_size=64))
     )
     workload = WikipediaWorkload(
         seed=seed, target_bytes=target_bytes,
@@ -310,7 +310,7 @@ def network_stack_ablation(
     ]
     rows = []
     for label, config in configs:
-        cluster = Cluster(config)
+        cluster = Cluster(config=config)
         workload = make_workload("wikipedia", seed=seed, target_bytes=target_bytes)
         result = cluster.run(workload.insert_trace())
         rows.append(

@@ -80,7 +80,7 @@ def _run_dbdedup(
         dedup=DedupConfig(chunk_size=chunk_size),
         block_compression="snappy",
     )
-    cluster = Cluster(config)
+    cluster = Cluster(config=config)
     workload = make_workload(workload_name, seed=seed, target_bytes=target_bytes)
     result = cluster.run(workload.insert_trace())
     return CompressionRow(
@@ -125,7 +125,7 @@ def _run_trad(
 
 def _run_snappy_only(workload_name: str, target_bytes: int, seed: int) -> CompressionRow:
     config = ClusterConfig(dedup_enabled=False, block_compression="snappy")
-    cluster = Cluster(config)
+    cluster = Cluster(config=config)
     workload = make_workload(workload_name, seed=seed, target_bytes=target_bytes)
     result = cluster.run(workload.insert_trace())
     return CompressionRow(
@@ -222,7 +222,7 @@ def fig11(
     rows = []
     for name in workloads:
         config = ClusterConfig(dedup=DedupConfig(chunk_size=64))
-        cluster = Cluster(config)
+        cluster = Cluster(config=config)
         workload = make_workload(name, seed=seed, target_bytes=target_bytes)
         result = cluster.run(workload.insert_trace())
         rows.append(
@@ -261,7 +261,7 @@ def fig07(
     config = ClusterConfig(
         dedup=DedupConfig(chunk_size=64, size_filter_enabled=False)
     )
-    cluster = Cluster(config)
+    cluster = Cluster(config=config)
     workload = make_workload(workload_name, seed=seed, target_bytes=target_bytes)
     cluster.run(workload.insert_trace())
     samples = cluster.primary.engine.stats.saving_samples

@@ -81,7 +81,7 @@ def _run_chain(
         hop_distance=hop_distance,
         size_filter_enabled=False,
     )
-    cluster = Cluster(ClusterConfig(dedup=dedup))
+    cluster = Cluster(config=ClusterConfig(dedup=dedup))
     workload = WikipediaWorkload(
         seed=seed,
         target_bytes=10_000_000_000,  # bounded by num_articles/revision cap below

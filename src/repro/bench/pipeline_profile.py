@@ -95,14 +95,14 @@ def pipeline_profile(
     """
     dedup = DedupConfig(chunk_size=64)
 
-    sequential = Cluster(ClusterConfig(dedup=dedup))
+    sequential = Cluster(config=ClusterConfig(dedup=dedup))
     workload = make_workload(workload_name, seed=seed, target_bytes=target_bytes)
     began = time.perf_counter()
     sequential.run(workload.insert_trace())
     per_record_wall = time.perf_counter() - began
 
     batched = Cluster(
-        ClusterConfig(dedup=dedup, insert_batch_size=batch_size)
+        config=ClusterConfig(dedup=dedup, insert_batch_size=batch_size)
     )
     workload = make_workload(workload_name, seed=seed, target_bytes=target_bytes)
     began = time.perf_counter()

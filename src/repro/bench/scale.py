@@ -60,7 +60,7 @@ def scale_sweep(
     """Run dbDedup and trad-dedup at increasing corpus sizes."""
     rows = []
     for target in targets:
-        cluster = Cluster(ClusterConfig(dedup=DedupConfig(chunk_size=64)))
+        cluster = Cluster(config=ClusterConfig(dedup=DedupConfig(chunk_size=64)))
         workload = make_workload(workload_name, seed=seed, target_bytes=target)
         result = cluster.run(workload.insert_trace())
 

@@ -1,0 +1,120 @@
+"""Shard-scaling experiment: dedup ratio vs shard count, per placement.
+
+The question the topology axis raises: how much of dbDedup's compression
+survives partitioning the corpus across independent engines? Each shard
+only deduplicates against its own records, so every entity whose
+versions scatter across shards forfeits delta opportunities — the
+router's ``cross_shard_misses`` counter. This experiment sweeps shard
+counts under both placement strategies and emits the
+dedup-ratio-vs-shard-count curve; ``prefix`` placement should hold the
+N=1 ratio flat (revision chains stay co-located) while ``hash`` decays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api import ClusterSpec, open_cluster
+from repro.bench.report import render_table
+from repro.core.config import DedupConfig
+from repro.workloads import make_workload
+
+
+@dataclass(frozen=True)
+class ShardScalingRow:
+    """One (placement, shard count) sweep point."""
+
+    placement: str
+    shards: int
+    storage_ratio: float
+    network_ratio: float
+    cross_shard_misses: int
+    records_per_shard: list[int]
+    invariants_ok: bool | None = None
+
+    @property
+    def shard_imbalance(self) -> float:
+        """max/mean insert load across shards (1.0 = perfectly even)."""
+        counts = self.records_per_shard
+        mean = sum(counts) / len(counts)
+        return max(counts) / mean if mean else 1.0
+
+
+@dataclass
+class ShardScalingResult:
+    """Full sweep: the dedup-ratio-vs-shard-count curve, per placement."""
+
+    workload: str
+    rows: list[ShardScalingRow] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Aligned monospace table of the sweep."""
+        return render_table(
+            f"Shard scaling — dedup ratio vs shard count ({self.workload})",
+            ["placement", "shards", "storage x", "network x",
+             "cross-misses", "imbalance", "invariants"],
+            [
+                (
+                    row.placement,
+                    row.shards,
+                    row.storage_ratio,
+                    row.network_ratio,
+                    row.cross_shard_misses,
+                    row.shard_imbalance,
+                    "ok" if row.invariants_ok
+                    else ("-" if row.invariants_ok is None else "FAILED"),
+                )
+                for row in self.rows
+            ],
+        )
+
+
+def shard_scaling(
+    workload_name: str = "wikipedia",
+    target_bytes: int = 400_000,
+    seed: int = 7,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    placements: tuple[str, ...] = ("hash", "prefix"),
+    chunk_size: int = 64,
+    insert_batch_size: int = 4,
+    check_invariants: bool = False,
+) -> ShardScalingResult:
+    """Sweep shard count x placement; measure surviving dedup ratio.
+
+    Every sweep point replays the *same* workload trace (same seed) into
+    a fresh topology, so ratio differences are attributable to placement
+    alone. With ``check_invariants`` each point also runs the full
+    per-shard + global invariant sweep (strict: a violation raises).
+    """
+    result = ShardScalingResult(workload=workload_name)
+    for placement in placements:
+        for shards in shard_counts:
+            spec = ClusterSpec(
+                dedup=DedupConfig(chunk_size=chunk_size),
+                insert_batch_size=insert_batch_size,
+                shards=shards,
+                placement=placement,
+            )
+            client = open_cluster(spec)
+            workload = make_workload(
+                workload_name, seed=seed, target_bytes=target_bytes
+            )
+            run = client.run(workload.insert_trace())
+            stats = client.stats()
+            invariants_ok = None
+            if check_invariants:
+                invariants_ok = client.check_invariants(strict=True).ok
+            result.rows.append(
+                ShardScalingRow(
+                    placement=placement,
+                    shards=shards,
+                    storage_ratio=run.storage_compression_ratio,
+                    network_ratio=run.network_compression_ratio,
+                    cross_shard_misses=stats.get("cross_shard_misses", 0),
+                    records_per_shard=stats.get(
+                        "records_per_shard", [stats["inserts"]]
+                    ),
+                    invariants_ok=invariants_ok,
+                )
+            )
+    return result

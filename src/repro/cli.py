@@ -13,11 +13,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.api import ClusterSpec, DedupClient, open_cluster
 from repro.bench import experiments
 from repro.bench import ablations
 from repro.bench.pipeline_profile import pipeline_profile
+from repro.bench.sharding_exp import shard_scaling
 from repro.core.config import DedupConfig
-from repro.db.cluster import Cluster, ClusterConfig
 from repro.workloads import ALL_WORKLOADS, make_workload
 
 #: Experiment ids accepted by ``experiment`` (paper table/figure numbers).
@@ -50,6 +51,13 @@ EXPERIMENTS = {
     "pipeline-profile": lambda args: pipeline_profile(
         args.workload, target_bytes=args.target_bytes,
         batch_size=max(args.batch_size, 2),
+    ),
+    "shard-scaling": lambda args: shard_scaling(
+        args.workload, target_bytes=args.target_bytes,
+        shard_counts=tuple(
+            int(part) for part in args.shard_counts.split(",") if part
+        ),
+        check_invariants=args.check_invariants,
     ),
 }
 
@@ -87,6 +95,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="raw corpus size to synthesize")
     exp.add_argument("--batch-size", type=int, default=64,
                      help="insert batch size for pipeline-profile")
+    exp.add_argument("--shard-counts", default="1,2,4,8", metavar="N,N,...",
+                     help="shard counts swept by shard-scaling")
+    exp.add_argument("--check-invariants", action="store_true",
+                     help="shard-scaling: run the full invariant sweep at "
+                          "every sweep point (a violation aborts)")
     _add_obs_arguments(exp)
 
     run = sub.add_parser("run", help="run a workload through a cluster")
@@ -107,6 +120,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--batch-size", type=int, default=1,
                      help="coalesce consecutive inserts into batches of "
                           "this size (1 = per-record inserts)")
+    run.add_argument("--shards", type=int, default=1,
+                     help="number of hash-routed shards (1 = single "
+                          "primary/secondary pair)")
+    run.add_argument("--placement", default="hash",
+                     choices=["hash", "prefix"],
+                     help="shard placement: uniform hash of the record id, "
+                          "or locality-preserving entity prefix")
     run.add_argument("--stage-stats", action="store_true",
                      help="also print the per-stage pipeline table")
     run.add_argument("--check-invariants", action="store_true",
@@ -156,11 +176,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_invariant_sweep(cluster: Cluster) -> int:
-    """Run :func:`check_cluster`, print the summary, return an exit code."""
-    from repro.db.invariants import check_cluster
+def _run_invariant_sweep(cluster) -> int:
+    """Run the matching invariant sweep, print it, return an exit code."""
+    from repro.db.invariants import check_cluster, check_sharded_cluster
+    from repro.db.sharding import ShardedCluster
 
-    report = check_cluster(cluster, strict=False)
+    if isinstance(cluster, ShardedCluster):
+        report = check_sharded_cluster(cluster, strict=False)
+    else:
+        report = check_cluster(cluster, strict=False)
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -174,13 +198,13 @@ def _sample_cadence(args: argparse.Namespace) -> tuple[float | None, int | None]
     return parse_sample_every(args.sample_every)
 
 
-def _build_observed_cluster(
-    config: ClusterConfig, args: argparse.Namespace
-) -> Cluster:
-    """A cluster with tracing/sampling switched on per the obs flags."""
+def _open_observed_client(
+    spec: ClusterSpec, args: argparse.Namespace
+) -> DedupClient:
+    """Open the spec with tracing/sampling switched on per the obs flags."""
     sample_s, sample_ops = _sample_cadence(args)
-    return Cluster(
-        config,
+    return open_cluster(
+        spec,
         trace=args.trace_out is not None,
         sample_every_s=sample_s,
         sample_every_ops=sample_ops,
@@ -188,7 +212,7 @@ def _build_observed_cluster(
 
 
 def _export_observability(
-    cluster: Cluster, args: argparse.Namespace, meta: dict
+    cluster, args: argparse.Namespace, meta: dict
 ) -> None:
     """Write the metrics/trace documents the obs flags asked for."""
     if args.metrics_out:
@@ -257,8 +281,8 @@ def command_experiment(args: argparse.Namespace) -> int:
 
 
 def command_run(args: argparse.Namespace) -> int:
-    """Run one workload through a configured cluster; print the summary."""
-    config = ClusterConfig(
+    """Run one workload through a configured deployment; print the summary."""
+    spec = ClusterSpec(
         dedup=DedupConfig(
             chunk_size=args.chunk_size,
             encoding=args.encoding,
@@ -267,14 +291,20 @@ def command_run(args: argparse.Namespace) -> int:
         dedup_enabled=not args.no_dedup,
         block_compression=args.block_compression,
         insert_batch_size=args.batch_size,
+        shards=args.shards,
+        placement=args.placement,
     )
-    cluster = _build_observed_cluster(config, args)
+    client = _open_observed_client(spec, args)
+    cluster = client.cluster
     workload = make_workload(args.workload, seed=args.seed,
                              target_bytes=args.target_bytes)
     trace = workload.insert_trace() if args.trace == "insert" else workload.mixed_trace()
-    result = cluster.run(trace)
+    result = client.run(trace)
 
     print(f"workload:           {args.workload} (seed {args.seed})")
+    if client.shards > 1:
+        print(f"shards:             {client.shards} "
+              f"(placement: {args.placement})")
     print(f"operations:         {result.operations} "
           f"({result.inserts} inserts, {result.reads} reads)")
     print(f"raw corpus:         {result.logical_bytes / 1e6:.2f} MB")
@@ -288,20 +318,30 @@ def command_run(args: argparse.Namespace) -> int:
     print(f"throughput:         {result.throughput_ops:.0f} ops/s (simulated)")
     print(f"latency p50/p99.9:  {result.latency_percentile(50) * 1e3:.2f} / "
           f"{result.latency_percentile(99.9) * 1e3:.2f} ms")
-    print(f"replicas converged: {cluster.replicas_converged()}")
-    if cluster.primary.engine is not None:
-        source_cache = cluster.primary.engine.source_cache
-        print(f"source cache:       {source_cache.hits} hits / "
-              f"{source_cache.misses} misses / "
-              f"{source_cache.evictions} evictions")
-    writeback = cluster.primary.db.writeback_cache
-    print(f"write-back cache:   {writeback.flushed} flushed / "
-          f"{writeback.discarded} discarded / "
-          f"{writeback.invalidated} invalidated "
-          f"(savings lost {writeback.discarded_savings / 1e3:.1f} KB)")
-    if args.stage_stats and cluster.primary.engine is not None:
-        print()
-        print(cluster.primary.engine.describe_pipeline())
+    print(f"replicas converged: {client.replicas_converged()}")
+    if client.shards > 1:
+        stats = client.stats()
+        print(f"cross-shard misses: {stats['cross_shard_misses']} "
+              f"(forfeited dedup opportunities)")
+        for index, shard_stats in enumerate(stats["per_shard"]):
+            print(f"  shard {index}:          "
+                  f"{shard_stats['records']} records, "
+                  f"{shard_stats['storage_compression_ratio']:.2f}x storage, "
+                  f"{shard_stats['network_compression_ratio']:.2f}x network")
+    else:
+        if cluster.primary.engine is not None:
+            source_cache = cluster.primary.engine.source_cache
+            print(f"source cache:       {source_cache.hits} hits / "
+                  f"{source_cache.misses} misses / "
+                  f"{source_cache.evictions} evictions")
+        writeback = cluster.primary.db.writeback_cache
+        print(f"write-back cache:   {writeback.flushed} flushed / "
+              f"{writeback.discarded} discarded / "
+              f"{writeback.invalidated} invalidated "
+              f"(savings lost {writeback.discarded_savings / 1e3:.1f} KB)")
+        if args.stage_stats and cluster.primary.engine is not None:
+            print()
+            print(cluster.primary.engine.describe_pipeline())
     _export_observability(
         cluster, args,
         meta={"command": "run", "workload": args.workload,
@@ -340,17 +380,18 @@ def command_trace_replay(args: argparse.Namespace) -> int:
     """Replay a recorded trace through a cluster; print the outcome."""
     from repro.workloads.trace_io import load_trace_file
 
-    config = ClusterConfig(
+    spec = ClusterSpec(
         dedup=DedupConfig(chunk_size=args.chunk_size, encoding=args.encoding),
         dedup_enabled=not args.no_dedup,
         block_compression=args.block_compression,
     )
-    cluster = _build_observed_cluster(config, args)
-    result = cluster.run(load_trace_file(args.path))
+    client = _open_observed_client(spec, args)
+    cluster = client.cluster
+    result = client.run(load_trace_file(args.path))
     print(f"replayed {result.operations} operations from {args.path}")
     print(f"storage: {result.storage_compression_ratio:.2f}x  "
           f"network: {result.network_compression_ratio:.2f}x  "
-          f"converged: {cluster.replicas_converged()}")
+          f"converged: {client.replicas_converged()}")
     _export_observability(
         cluster, args, meta={"command": "trace-replay", "path": args.path},
     )

@@ -41,6 +41,7 @@ from repro.index.cuckoo import CuckooFeatureIndex
 from repro.obs.registry import MetricsRegistry
 from repro.sim.costs import CostModel
 from repro.sketch.features import SketchExtractor
+from repro.util.deprecation import positional_shim
 
 
 class RecordProvider(Protocol):
@@ -96,8 +97,15 @@ class EncodeResult:
 class DedupEngine:
     """Primary-side deduplication engine."""
 
+    @positional_shim(
+        ("config", "costs", "observers", "registry"),
+        "DedupEngine",
+        "positional DedupEngine(...) arguments are deprecated; pass them "
+        "by keyword (engine parameters live on repro.api.ClusterSpec.dedup)",
+    )
     def __init__(
         self,
+        *,
         config: DedupConfig | None = None,
         costs: CostModel | None = None,
         observers: Sequence[PipelineObserver] = (),

@@ -14,11 +14,13 @@ from repro.db.invariants import (
     InvariantViolation,
     check_cluster,
     check_database,
+    check_sharded_cluster,
 )
 from repro.db.node import PrimaryNode, SecondaryNode
 from repro.db.oplog import Oplog, OplogEntry
 from repro.db.record import RecordForm, StoredRecord
 from repro.db.recovery import ReplayReport, replay_oplog
+from repro.db.sharding import ShardedCluster, ShardRouter, locality_key
 from repro.db.snapshot import load_snapshot, save_snapshot
 
 __all__ = [
@@ -38,6 +40,10 @@ __all__ = [
     "ReplayReport",
     "check_cluster",
     "check_database",
+    "check_sharded_cluster",
+    "ShardedCluster",
+    "ShardRouter",
+    "locality_key",
     "ClusterInvariantError",
     "InvariantReport",
     "InvariantViolation",

@@ -20,6 +20,7 @@ from repro.obs import runtime as obs_runtime
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.network import SimNetwork
+from repro.util.deprecation import positional_shim
 from repro.util.stats import percentile
 from repro.workloads.base import Operation
 
@@ -137,25 +138,44 @@ class RunResult:
 
 
 class Cluster:
-    """One-primary / one-secondary deployment driven by a client trace."""
+    """One-primary / N-secondary deployment driven by a client trace.
 
+    Construct with keyword arguments (or :meth:`from_spec` /
+    :func:`repro.api.open_cluster`); the legacy ``Cluster(config, costs)``
+    positional path still works behind a deprecation shim.
+    """
+
+    @positional_shim(
+        ("config", "costs"),
+        "Cluster",
+        "positional Cluster(config, costs) arguments are deprecated; "
+        "pass them by keyword, or build the cluster through "
+        "repro.api.open_cluster(ClusterSpec(...))",
+    )
     def __init__(
         self,
+        *,
         config: ClusterConfig | None = None,
         costs: CostModel | None = None,
-        *,
+        clock: SimClock | None = None,
+        tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
         trace: bool = False,
         sample_every_s: float | None = None,
         sample_every_ops: int | None = None,
+        capture: bool = True,
     ) -> None:
         self.config = config if config is not None else ClusterConfig()
         self.costs = costs if costs is not None else CostModel()
-        self.clock = SimClock()
+        #: Simulated clock — private by default, injected (shared) when
+        #: this cluster is one shard of a :class:`ShardedCluster`.
+        self.clock = clock if clock is not None else SimClock()
         # An ambient capture (opened by the CLI around experiment code
         # that builds clusters internally) turns observability on without
-        # constructor plumbing; explicit arguments still win.
-        cap = obs_runtime.active_capture()
+        # constructor plumbing; explicit arguments still win. A sharded
+        # cluster registers itself instead and passes ``capture=False``
+        # to its shards.
+        cap = obs_runtime.active_capture() if capture else None
         if cap is not None:
             trace = trace or cap.trace
             if sample_every_s is None:
@@ -164,8 +184,11 @@ class Cluster:
                 sample_every_ops = cap.sample_ops
         #: Shared metrics registry every layer of this cluster reports to.
         self.registry = registry if registry is not None else MetricsRegistry()
-        #: Shared sim-clock tracer (disabled unless ``trace=True``).
-        self.tracer = Tracer(self.clock, enabled=trace)
+        #: Shared sim-clock tracer (disabled unless ``trace=True``);
+        #: injectable so shards of one topology trace into one span store.
+        self.tracer = (
+            tracer if tracer is not None else Tracer(self.clock, enabled=trace)
+        )
         #: Optional time-series sampler driven by client operations.
         self.sampler = (
             TimeSeriesSampler(
@@ -308,6 +331,35 @@ class Cluster:
             "Secondary reads served by the primary (replica was stale)",
         ).collect(lambda: {(): float(self.stale_read_fallbacks)})
 
+    @classmethod
+    def from_spec(
+        cls,
+        spec,
+        *,
+        clock: SimClock | None = None,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
+        capture: bool = True,
+    ):
+        """Build a cluster from a :class:`repro.api.ClusterSpec`.
+
+        The spec's sharding fields are ignored here (a one-shard topology
+        *is* a plain cluster); :class:`~repro.db.sharding.ShardedCluster`
+        consumes them. Accepts any object with the spec's attributes, so
+        this module never imports :mod:`repro.api`.
+        """
+        return cls(
+            config=spec.to_cluster_config(),
+            costs=spec.costs,
+            clock=clock,
+            tracer=tracer,
+            registry=registry,
+            trace=spec.trace,
+            sample_every_s=spec.sample_every_s,
+            sample_every_ops=spec.sample_every_ops,
+            capture=capture,
+        )
+
     @property
     def secondary(self) -> SecondaryNode:
         """The first secondary (the evaluated topology has exactly one)."""
@@ -317,6 +369,18 @@ class Cluster:
     def link(self) -> ReplicationLink:
         """The first replication link."""
         return self.links[0]
+
+    def nodes(self):
+        """Yield ``(name, node)`` for the primary and every secondary.
+
+        The single iteration order every whole-cluster sweep (scrub,
+        convergence, invariants, fault installation) routes through, so
+        sharded and unsharded topologies share one code path instead of
+        each site re-deriving the node list.
+        """
+        yield "primary", self.primary
+        for index, secondary in enumerate(self.secondaries):
+            yield f"secondary{index}", secondary
 
     def execute(self, op: Operation) -> float:
         """Run one client operation; returns its latency and advances time."""
@@ -378,6 +442,31 @@ class Cluster:
             for _ in ops:
                 self.sampler.note_op()
         return latency
+
+    def client_read(
+        self, database: str, record_id: str
+    ) -> tuple[bytes | None, float]:
+        """One accounted client read: content plus latency.
+
+        The facade's read path — same bookkeeping as ``execute`` on a
+        read operation (span, clock advance, replication piggyback, fault
+        and sampler hooks) but the caller also gets the content back.
+        """
+        span = self.tracer.start_span("op:read", record_id=record_id)
+        try:
+            content, latency = self.read(database, record_id)
+            self.reads += 1
+            span.annotate("latency_s", latency)
+            self.clock.advance(latency)
+            for link in self.links:
+                link.maybe_sync()
+        finally:
+            self.tracer.end_span(span)
+        if self.fault_plan is not None:
+            self.fault_plan.after_operation(self)
+        if self.sampler is not None:
+            self.sampler.note_op()
+        return content, latency
 
     def read(self, database: str, record_id: str) -> tuple[bytes | None, float]:
         """Client read honoring the configured read preference.
@@ -499,11 +588,7 @@ class Cluster:
         integrity pass a production deployment would run periodically.
         """
         repaired: dict[str, int] = {}
-        nodes = [("primary", self.primary)] + [
-            (f"secondary{index}", secondary)
-            for index, secondary in enumerate(self.secondaries)
-        ]
-        for name, node in nodes:
+        for name, node in self.nodes():
             count = 0
             for record_id in node.db.verify_checksums():
                 count += self.repair_record(node, record_id)
@@ -630,20 +715,22 @@ class Cluster:
         for secondary in self.secondaries:
             secondary.db.drain_writebacks()
 
-    def replicas_converged(self) -> bool:
-        """True when every replica holds identical live record contents."""
-        primary_ids = {
+    @staticmethod
+    def _live_ids(node) -> set[str]:
+        """Record ids of a node's live (non-deleted) records."""
+        return {
             record_id
-            for record_id, record in self.primary.db.records.items()
+            for record_id, record in node.db.records.items()
             if not record.deleted
         }
-        for secondary in self.secondaries:
-            secondary_ids = {
-                record_id
-                for record_id, record in secondary.db.records.items()
-                if not record.deleted
-            }
-            if primary_ids != secondary_ids:
+
+    def replicas_converged(self) -> bool:
+        """True when every replica holds identical live record contents."""
+        primary_ids = self._live_ids(self.primary)
+        for name, node in self.nodes():
+            if name == "primary":
+                continue
+            if primary_ids != self._live_ids(node):
                 return False
             # Sorted, not set order: the reads below go through the decode
             # cache, so a hash-randomized visit order would leak into the
@@ -653,9 +740,36 @@ class Cluster:
                 primary_content, _ = self.primary.db.read(
                     record.database, record_id
                 )
-                secondary_content, _ = secondary.db.read(
-                    record.database, record_id
-                )
+                secondary_content, _ = node.db.read(record.database, record_id)
                 if primary_content != secondary_content:
                     return False
         return True
+
+    def summary_stats(self) -> dict:
+        """Point-in-time client-facing summary (the facade's ``stats()``).
+
+        Keys are shared with :meth:`ShardedCluster.summary_stats
+        <repro.db.sharding.ShardedCluster.summary_stats>` so callers can
+        treat both topologies uniformly.
+        """
+        db = self.primary.db
+        logical = db.logical_raw_bytes
+        stored = db.stored_bytes
+        network = self.network.bytes_delivered
+        return {
+            "shards": 1,
+            "inserts": self.inserts,
+            "reads": self.reads,
+            "records": len(self._live_ids(self.primary)),
+            "logical_bytes": logical,
+            "stored_bytes": stored,
+            "physical_bytes": db.physical_bytes(),
+            "network_bytes": network,
+            "index_memory_bytes": (
+                self.primary.engine.index_memory_bytes
+                if self.primary.engine
+                else 0
+            ),
+            "storage_compression_ratio": logical / stored if stored else 1.0,
+            "network_compression_ratio": logical / network if network else 1.0,
+        }

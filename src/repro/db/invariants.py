@@ -437,6 +437,77 @@ def check_cluster(
             plan.resume()
 
 
+def check_sharded_cluster(
+    cluster, *, drain: bool = True, strict: bool = True
+) -> InvariantReport:
+    """Verify a sharded topology: every shard, plus the routing globals.
+
+    Runs :func:`check_cluster` on each shard (violations prefixed with
+    ``shard<N>/``) and then the topology-level checks no single shard
+    can see:
+
+    * **placement** — every record lives on exactly the shard the
+      router's placement function assigns its id to (records never
+      migrate);
+    * **disjointness** — no record id is stored on two shards;
+    * **routing accounting** — the router's per-shard insert counts sum
+      to the inserts the shards actually accepted.
+
+    Args:
+        cluster: a :class:`~repro.db.sharding.ShardedCluster`.
+        drain: finalize replication and scrub before checking.
+        strict: raise :class:`ClusterInvariantError` on any violation.
+    """
+    report = InvariantReport()
+    for index, shard in enumerate(cluster.shards):
+        shard_report = check_cluster(shard, drain=drain, strict=False)
+        report.nodes_checked += shard_report.nodes_checked
+        report.records_checked += shard_report.records_checked
+        report.hop_bound_checked |= shard_report.hop_bound_checked
+        report.oplog_checked |= shard_report.oplog_checked
+        report.convergence_checked |= shard_report.convergence_checked
+        for violation in shard_report.violations:
+            report.add(
+                f"shard{index}/{violation.node}",
+                violation.check,
+                violation.detail,
+                violation.record_id,
+            )
+    _check_placement(cluster, report)
+    if strict and not report.ok:
+        raise ClusterInvariantError(report)
+    return report
+
+
+def _check_placement(cluster, report: InvariantReport) -> None:
+    """Records sit on their routed shard; no id exists on two shards."""
+    router = cluster.router
+    owner: dict[str, int] = {}
+    for index, shard in enumerate(cluster.shards):
+        node = f"shard{index}/primary"
+        for record_id in sorted(shard.primary.db.records):
+            expected = router.shard_of(record_id)
+            if expected != index:
+                report.add(
+                    node, "placement",
+                    f"record routed to shard {expected} but stored here",
+                    record_id,
+                )
+            previous = owner.setdefault(record_id, index)
+            if previous != index:
+                report.add(
+                    node, "placement",
+                    f"record also stored on shard {previous}", record_id,
+                )
+    routed = sum(router.counts)
+    accepted = sum(shard.inserts for shard in cluster.shards)
+    if routed != accepted:
+        report.add(
+            "router", "placement",
+            f"router counted {routed} inserts, shards accepted {accepted}",
+        )
+
+
 def _check_convergence(cluster, report: InvariantReport) -> None:
     """After drain, secondaries mirror the primary's live contents."""
     head = cluster.primary.oplog.next_seq

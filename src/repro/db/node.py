@@ -20,6 +20,7 @@ from repro.obs.tracing import NULL_TRACER, Tracer, TracingObserver
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
 from repro.sim.disk import SimDisk
+from repro.util.deprecation import positional_shim
 
 
 def _physical_store(page_size: int, block_compressor, disk: SimDisk):
@@ -144,8 +145,19 @@ def _install_node_collectors(registry: MetricsRegistry, node) -> None:
 class PrimaryNode:
     """Write-serving node with the dbDedup encoder attached."""
 
+    @positional_shim(
+        (
+            "clock", "costs", "config", "dedup_enabled", "block_compressor",
+            "inline_block_compression", "use_writeback_cache", "page_size",
+            "physical_storage", "registry", "tracer", "node_name",
+        ),
+        "PrimaryNode",
+        "positional PrimaryNode(...) arguments are deprecated; pass them "
+        "by keyword (clusters are best built via repro.api.open_cluster)",
+    )
     def __init__(
         self,
+        *,
         clock: SimClock,
         costs: CostModel | None = None,
         config: DedupConfig | None = None,
@@ -183,8 +195,8 @@ class PrimaryNode:
     def _build_engine(self) -> DedupEngine:
         """A dedup engine sharing the node's registry and tracer."""
         return DedupEngine(
-            self.config,
-            self.costs,
+            config=self.config,
+            costs=self.costs,
             observers=(TracingObserver(self.tracer),),
             registry=self.registry,
         )
@@ -430,8 +442,18 @@ class PrimaryNode:
 class SecondaryNode:
     """Replica that replays oplog batches through the re-encoder."""
 
+    @positional_shim(
+        (
+            "clock", "costs", "config", "dedup_enabled", "block_compressor",
+            "page_size", "physical_storage", "registry", "tracer", "node_name",
+        ),
+        "SecondaryNode",
+        "positional SecondaryNode(...) arguments are deprecated; pass "
+        "them by keyword (clusters are best built via repro.api.open_cluster)",
+    )
     def __init__(
         self,
+        *,
         clock: SimClock,
         costs: CostModel | None = None,
         config: DedupConfig | None = None,

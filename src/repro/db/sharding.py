@@ -1,0 +1,517 @@
+"""Hash-sharded multi-primary topology: N independent clusters, one client.
+
+The paper's dbDedup runs one engine per primary; scaling the reproduction
+to production-size corpora means partitioning the feature index and the
+encoding chains the way HPDedup partitions dedup streams by locality and
+LSHBloom bounds per-partition index memory. This module adds that axis
+without touching the single-primary machinery: a :class:`ShardedCluster`
+owns N full :class:`~repro.db.cluster.Cluster` shards — each with its own
+:class:`~repro.core.engine.DedupEngine`, cuckoo index partition, oplog,
+replication link(s) and secondaries — all driven on one shared
+:class:`~repro.sim.clock.SimClock`.
+
+Routing is pluggable through :class:`ShardRouter`:
+
+* ``hash`` — uniform placement by MurmurHash3 of the full record id.
+  Balanced, but versions of one entity scatter across shards, so the
+  per-shard engines never see each other's similar records;
+* ``prefix`` — locality-preserving placement by the record id's entity
+  prefix (``wiki/7/41 → wiki/7``), so revision chains stay on one shard
+  and cross-shard dedup loss collapses to zero at the cost of balance.
+
+The router *measures* that trade-off: every insert whose entity already
+has records on a different shard increments ``cross_shard_misses`` — the
+dedup opportunities a sharded deployment forfeits — and the shard-scaling
+experiment (``repro experiment shard-scaling``) turns the counter plus
+the per-shard compression ratios into a dedup-ratio-vs-shard-count curve.
+
+Batch execution splits each client batch into per-shard sub-batches that
+run concurrently in simulated time (the shared clock advances once, by
+the slowest shard's latency). With ``shards=1`` every path delegates to
+the underlying cluster unchanged, which is what the byte-equivalence
+property test in ``tests/db/test_sharding_equivalence.py`` pins down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.db.cluster import Cluster, ClusterConfig, RunResult
+from repro.hashing.murmur import murmur3_32
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs import runtime as obs_runtime
+from repro.sim.clock import SimClock
+from repro.sim.costs import CostModel
+from repro.workloads.base import Operation
+
+#: Placement strategies understood by :class:`ShardRouter`.
+PLACEMENTS = ("hash", "prefix")
+
+#: Seed of the routing hash — fixed so placement is stable across runs
+#: and across processes (record ids must not migrate between shards).
+ROUTER_HASH_SEED = 0x5A4D
+
+
+def locality_key(record_id: str) -> str:
+    """The entity prefix similar records share.
+
+    Every shipped workload names versions of one entity under a common
+    ``/``-separated prefix (``wiki/<article>/<rev>``, ``mail/<seq>``,
+    ``order/<id>``); dropping the last segment yields the key revisions
+    of one article, or versions of one document, have in common. Ids
+    without a separator are their own key.
+    """
+    head, sep, _tail = record_id.rpartition("/")
+    return head if sep else record_id
+
+
+class ShardRouter:
+    """Deterministic record-to-shard placement with miss accounting.
+
+    Args:
+        shards: number of shards (>= 1).
+        placement: ``'hash'`` (uniform, by full record id) or ``'prefix'``
+            (locality-preserving, by :func:`locality_key`).
+
+    Attributes:
+        counts: inserts routed to each shard (placement-balance signal).
+        cross_shard_misses: inserts whose entity already had records on a
+            different shard — each one is dedup opportunity the sharded
+            topology cannot exploit, the quantity the placement strategy
+            exists to minimize.
+    """
+
+    def __init__(self, shards: int, placement: str = "hash") -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"placement must be one of {PLACEMENTS}, got {placement!r}"
+            )
+        self.shards = shards
+        self.placement = placement
+        self.counts = [0] * shards
+        self.cross_shard_misses = 0
+        self._entity_shard: dict[str, int] = {}
+
+    def shard_of(self, record_id: str) -> int:
+        """The shard a record id lives on (pure function of the id)."""
+        key = (
+            record_id
+            if self.placement == "hash"
+            else locality_key(record_id)
+        )
+        return murmur3_32(key.encode("utf-8"), ROUTER_HASH_SEED) % self.shards
+
+    def route(self, op: Operation) -> int:
+        """Route one operation, maintaining the insert-side accounting."""
+        shard = self.shard_of(op.record_id)
+        if op.kind == "insert":
+            self.counts[shard] += 1
+            entity = locality_key(op.record_id)
+            home = self._entity_shard.setdefault(entity, shard)
+            if home != shard:
+                self.cross_shard_misses += 1
+        return shard
+
+    @property
+    def entities_tracked(self) -> int:
+        """Distinct locality keys seen so far."""
+        return len(self._entity_shard)
+
+
+class _MergedRegistryView:
+    """Duck-typed registry exposing a sharded cluster's merged snapshot.
+
+    The exporters only need ``snapshot()`` from a registry; this view
+    satisfies them by re-labeling every shard's families with a ``shard``
+    label and appending the router's own families, so one valid
+    ``repro.metrics/v1`` document covers the whole topology.
+    """
+
+    def __init__(self, cluster: "ShardedCluster") -> None:
+        self._cluster = cluster
+
+    def snapshot(self) -> dict:
+        """Merged ``{name: family}`` snapshot across every shard."""
+        return self._cluster.metrics_snapshot()
+
+
+class ShardedCluster:
+    """N independent cluster shards behind one hash-routing client.
+
+    Construct with keyword arguments or :meth:`from_spec`; the public
+    entry point is :func:`repro.api.open_cluster` with a spec whose
+    ``shards`` is greater than one.
+
+    Args:
+        config: per-shard :class:`~repro.db.cluster.ClusterConfig`
+            (every shard runs the same configuration).
+        shards: number of shards (>= 1).
+        placement: router placement strategy (see :class:`ShardRouter`).
+        costs: shared cost model.
+        trace: enable sim-clock tracing (one tracer spans all shards).
+        sample_every_s / sample_every_ops: per-shard sampler cadence.
+        capture: register with an ambient observability capture.
+    """
+
+    def __init__(
+        self,
+        *,
+        config: ClusterConfig | None = None,
+        shards: int = 2,
+        placement: str = "hash",
+        costs: CostModel | None = None,
+        trace: bool = False,
+        sample_every_s: float | None = None,
+        sample_every_ops: int | None = None,
+        capture: bool = True,
+    ) -> None:
+        self.config = config if config is not None else ClusterConfig()
+        self.costs = costs if costs is not None else CostModel()
+        cap = obs_runtime.active_capture() if capture else None
+        if cap is not None:
+            trace = trace or cap.trace
+            if sample_every_s is None:
+                sample_every_s = cap.sample_seconds
+            if sample_every_ops is None:
+                sample_every_ops = cap.sample_ops
+        #: One simulated clock shared by every shard — client batches fan
+        #: out concurrently and background work on all shards sees one
+        #: consistent timeline.
+        self.clock = SimClock()
+        #: One tracer spanning all shards (spans carry shard annotations).
+        self.tracer = Tracer(self.clock, enabled=trace)
+        self.router = ShardRouter(shards, placement)
+        #: The shard clusters. Each keeps its *own* metrics registry so
+        #: identical label sets (node="primary", ...) never collide; the
+        #: merged view re-labels them with ``shard`` at export time.
+        self.shards = [
+            Cluster(
+                config=self.config,
+                costs=self.costs,
+                clock=self.clock,
+                tracer=self.tracer,
+                trace=trace,
+                sample_every_s=sample_every_s,
+                sample_every_ops=sample_every_ops,
+                capture=False,
+            )
+            for _ in range(shards)
+        ]
+        #: Merged-snapshot registry view (valid exporter input).
+        self.registry = _MergedRegistryView(self)
+        #: Sharded runs have per-shard samplers; there is no single
+        #: sampler to export, so the bundle-level slot stays empty.
+        self.sampler = None
+        self._router_registry = MetricsRegistry()
+        self._install_router_collectors()
+        if cap is not None:
+            cap.register(self)
+
+    @classmethod
+    def from_spec(cls, spec, *, capture: bool = True) -> "ShardedCluster":
+        """Build a sharded cluster from a :class:`repro.api.ClusterSpec`.
+
+        Duck-typed on the spec's attributes so this module never imports
+        :mod:`repro.api` (which imports this one).
+        """
+        return cls(
+            config=spec.to_cluster_config(),
+            shards=spec.shards,
+            placement=spec.placement,
+            costs=spec.costs,
+            trace=spec.trace,
+            sample_every_s=spec.sample_every_s,
+            sample_every_ops=spec.sample_every_ops,
+            capture=capture,
+        )
+
+    def _install_router_collectors(self) -> None:
+        """Export the router's counters from the topology-level registry."""
+        reg = self._router_registry
+        router = self.router
+        reg.gauge(
+            "router_shard_count", "Number of shards in the topology",
+        ).collect(lambda: {(): float(router.shards)})
+        reg.counter(
+            "router_records_routed_total",
+            "Client inserts routed to each shard", ("shard",),
+        ).collect(lambda: {
+            (str(index),): float(count)
+            for index, count in enumerate(router.counts)
+        })
+        reg.counter(
+            "router_cross_shard_misses_total",
+            "Inserts whose entity already lived on a different shard "
+            "(forfeited dedup opportunities)",
+        ).collect(lambda: {(): float(router.cross_shard_misses)})
+        reg.gauge(
+            "router_entities_tracked",
+            "Distinct locality keys the router has seen",
+        ).collect(lambda: {(): float(router.entities_tracked)})
+
+    # -- client operations ---------------------------------------------------
+
+    def execute(self, op: Operation) -> float:
+        """Run one client operation on its owning shard."""
+        if op.kind == "idle":
+            return self._idle(op.idle_seconds)
+        return self.shards[self.router.route(op)].execute(op)
+
+    def client_read(
+        self, database: str, record_id: str
+    ) -> tuple[bytes | None, float]:
+        """One accounted client read, routed to the owning shard."""
+        shard = self.shards[self.router.shard_of(record_id)]
+        return shard.client_read(database, record_id)
+
+    def execute_insert_batch(self, ops: list[Operation]) -> float:
+        """Run one client batch, split per shard, concurrently.
+
+        Each shard's sub-batch goes through its primary's batch path;
+        the shared clock then advances once by the *slowest* sub-batch
+        latency — the shards work in parallel, the client waits for all
+        of them. A batch that lands entirely on one shard takes that
+        shard's native batch path unchanged.
+        """
+        groups: dict[int, list[Operation]] = {}
+        for op in ops:
+            groups.setdefault(self.router.route(op), []).append(op)
+        if len(groups) == 1:
+            ((index, group),) = groups.items()
+            return self.shards[index].execute_insert_batch(group)
+        latencies: dict[int, float] = {}
+        for index in sorted(groups):
+            shard = self.shards[index]
+            group = groups[index]
+            span = self.tracer.start_span(
+                "op:insert_batch", shard=index, records=len(group)
+            )
+            try:
+                latency = shard.primary.insert_batch(
+                    [(op.database, op.record_id, op.content) for op in group]
+                )
+                shard.inserts += len(group)
+                span.annotate("latency_s", latency)
+            finally:
+                self.tracer.end_span(span)
+            latencies[index] = latency
+        batch_latency = max(latencies.values())
+        self.clock.advance(batch_latency)
+        for index in sorted(groups):
+            shard = self.shards[index]
+            for link in shard.links:
+                link.maybe_sync()
+            if shard.fault_plan is not None:
+                shard.fault_plan.after_operation(shard)
+            if shard.sampler is not None:
+                for _ in groups[index]:
+                    shard.sampler.note_op()
+        return batch_latency
+
+    def _idle(self, seconds: float) -> float:
+        """Advance quiet time in slices; every shard drains background work."""
+        remaining = seconds
+        step = max(seconds / 20.0, 1e-6)
+        while remaining > 0:
+            self.clock.advance(min(step, remaining))
+            remaining -= step
+            for shard in self.shards:
+                shard.primary.on_idle()
+        return 0.0
+
+    def run(
+        self,
+        operations: Iterable[Operation],
+        timeline_bucket_s: float | None = None,
+    ) -> RunResult:
+        """Execute a trace across the shards; collect merged measurements.
+
+        The batching protocol mirrors :meth:`Cluster.run
+        <repro.db.cluster.Cluster.run>` exactly — consecutive inserts
+        coalesce into client batches of ``config.insert_batch_size``,
+        any other operation flushes first — and each batch is then split
+        per shard by :meth:`execute_insert_batch`.
+        """
+        latencies: list[float] = []
+        count = 0
+        buckets: dict[int, int] = {}
+        start = self.clock.now
+        batch_size = self.config.insert_batch_size
+        pending: list[Operation] = []
+
+        def note_op(latency: float) -> None:
+            nonlocal count
+            latencies.append(latency)
+            count += 1
+            if timeline_bucket_s:
+                bucket = int((self.clock.now - start) / timeline_bucket_s)
+                buckets[bucket] = buckets.get(bucket, 0) + 1
+
+        def flush_pending() -> None:
+            if not pending:
+                return
+            batch_latency = self.execute_insert_batch(pending)
+            share = batch_latency / len(pending)
+            for _ in pending:
+                note_op(share)
+            pending.clear()
+
+        for op in operations:
+            if batch_size > 1 and op.kind == "insert":
+                pending.append(op)
+                if len(pending) >= batch_size:
+                    flush_pending()
+                continue
+            flush_pending()
+            latency = self.execute(op)
+            if op.kind != "idle":
+                note_op(latency)
+        flush_pending()
+        self.finalize()
+        for shard in self.shards:
+            if shard.sampler is not None:
+                shard.sampler.finalize()
+        duration = self.clock.now - start
+        if timeline_bucket_s and buckets:
+            last_bucket = max(buckets)
+            timeline = [
+                (bucket * timeline_bucket_s,
+                 buckets.get(bucket, 0) / timeline_bucket_s)
+                for bucket in range(last_bucket + 1)
+            ]
+        else:
+            timeline = []
+        return RunResult(
+            operations=count,
+            inserts=sum(shard.inserts for shard in self.shards),
+            reads=sum(shard.reads for shard in self.shards),
+            duration_s=duration,
+            latencies_s=latencies,
+            logical_bytes=sum(
+                shard.primary.db.logical_raw_bytes for shard in self.shards
+            ),
+            stored_bytes=sum(
+                shard.primary.db.stored_bytes for shard in self.shards
+            ),
+            physical_bytes=sum(
+                shard.primary.db.physical_bytes() for shard in self.shards
+            ),
+            network_bytes=sum(
+                shard.network.bytes_delivered for shard in self.shards
+            ),
+            index_memory_bytes=sum(
+                shard.primary.engine.index_memory_bytes
+                for shard in self.shards
+                if shard.primary.engine
+            ),
+            throughput_timeline=timeline,
+        )
+
+    # -- lifecycle / maintenance ---------------------------------------------
+
+    def finalize(self) -> None:
+        """Drain replication and write-back caches on every shard."""
+        for shard in self.shards:
+            shard.finalize()
+
+    def scrub(self) -> dict[str, int]:
+        """Checksum-scrub every shard; returns ``{shardN/node: repaired}``."""
+        repaired: dict[str, int] = {}
+        for index, shard in enumerate(self.shards):
+            for name, count in shard.scrub().items():
+                repaired[f"shard{index}/{name}"] = count
+        return repaired
+
+    def checkpoint(self, path) -> int:
+        """Checkpoint every shard (``<path>.shard<N>``); sum of truncations."""
+        return sum(
+            shard.checkpoint(f"{path}.shard{index}")
+            for index, shard in enumerate(self.shards)
+        )
+
+    def replicas_converged(self) -> bool:
+        """True when every shard's replicas converged."""
+        return all(shard.replicas_converged() for shard in self.shards)
+
+    def install_fault_plans(self, plans: Mapping[int, object]) -> None:
+        """Install per-shard fault plans: ``{shard_index: FaultPlan}``.
+
+        Each plan wires into one shard's network, disks and databases
+        exactly as it would on a standalone cluster.
+        """
+        for index, plan in plans.items():
+            plan.install(self.shards[index])
+
+    @property
+    def fault_plans(self) -> dict[int, object]:
+        """Installed fault plans by shard index (shards without one omitted)."""
+        return {
+            index: shard.fault_plan
+            for index, shard in enumerate(self.shards)
+            if shard.fault_plan is not None
+        }
+
+    # -- observability --------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """Merged metrics: every shard's families, labeled by shard.
+
+        Each shard keeps its own registry; this merge adds a ``shard``
+        label to every family (values are the shard index) and appends
+        the router-level families, yielding one snapshot the standard
+        exporters and validators accept.
+        """
+        merged: dict[str, dict] = {}
+        for index, shard in enumerate(self.shards):
+            for name, family in shard.registry.snapshot().items():
+                target = merged.get(name)
+                if target is None:
+                    target = {
+                        key: value
+                        for key, value in family.items()
+                        if key != "values"
+                    }
+                    target["labels"] = list(family["labels"]) + ["shard"]
+                    target["values"] = []
+                    merged[name] = target
+                for row in family["values"]:
+                    labeled = dict(row)
+                    labeled["labels"] = dict(row["labels"], shard=str(index))
+                    target["values"].append(labeled)
+        merged.update(self._router_registry.snapshot())
+        return merged
+
+    def summary_stats(self) -> dict:
+        """Aggregated topology summary plus per-shard breakdown.
+
+        Shares its top-level keys with :meth:`Cluster.summary_stats
+        <repro.db.cluster.Cluster.summary_stats>` and adds the router's
+        cross-shard accounting and the per-shard dicts under ``"per_shard"``.
+        """
+        per_shard = [shard.summary_stats() for shard in self.shards]
+        logical = sum(stats["logical_bytes"] for stats in per_shard)
+        stored = sum(stats["stored_bytes"] for stats in per_shard)
+        network = sum(stats["network_bytes"] for stats in per_shard)
+        return {
+            "shards": len(self.shards),
+            "placement": self.router.placement,
+            "inserts": sum(stats["inserts"] for stats in per_shard),
+            "reads": sum(stats["reads"] for stats in per_shard),
+            "records": sum(stats["records"] for stats in per_shard),
+            "logical_bytes": logical,
+            "stored_bytes": stored,
+            "physical_bytes": sum(
+                stats["physical_bytes"] for stats in per_shard
+            ),
+            "network_bytes": network,
+            "index_memory_bytes": sum(
+                stats["index_memory_bytes"] for stats in per_shard
+            ),
+            "storage_compression_ratio": logical / stored if stored else 1.0,
+            "network_compression_ratio": logical / network if network else 1.0,
+            "cross_shard_misses": self.router.cross_shard_misses,
+            "records_per_shard": list(self.router.counts),
+            "per_shard": per_shard,
+        }

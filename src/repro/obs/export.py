@@ -316,18 +316,28 @@ def validate_metrics_document(document: object) -> list[str]:
 # -- reconciliation identities --------------------------------------------------
 
 
-def _scalar_values(
-    metrics: dict, name: str
+def _scalar_groups(
+    metrics: dict, name: str, fields: tuple[str, ...]
 ) -> dict[tuple[str, ...], float]:
-    """``{label_values: value}`` of one scalar family in a document."""
+    """Fold one scalar family into ``{key: sum}`` keyed by ``fields``.
+
+    ``fields`` are label names; rows are summed over any labels not
+    named. A ``shard`` label (present in merged sharded-cluster
+    documents) is appended to every key automatically, so each
+    accounting identity is checked per shard — shards are independent
+    pipelines and their counters must balance individually.
+    """
     family = metrics.get(name)
     if not isinstance(family, dict):
         return {}
-    labels = family.get("labels", [])
+    sharded = "shard" in family.get("labels", [])
     out: dict[tuple[str, ...], float] = {}
     for row in family.get("values", []):
-        key = tuple(str(row["labels"][label]) for label in labels)
-        out[key] = float(row["value"])
+        row_labels = row["labels"]
+        key = tuple(str(row_labels.get(field, "")) for field in fields)
+        if sharded:
+            key += (str(row_labels.get("shard", "")),)
+        out[key] = out.get(key, 0.0) + float(row["value"])
     return out
 
 
@@ -351,30 +361,33 @@ def check_reconciliation(document: dict) -> list[str]:
     if not isinstance(metrics, dict):
         return ["document has no 'metrics' object"]
 
-    stage_in = _scalar_values(metrics, "pipeline_stage_records_in_total")
-    stage_out = _scalar_values(metrics, "pipeline_stage_records_out_total")
-    drops = _scalar_values(metrics, "pipeline_drops_total")
-    # drops are labeled (scope, stage, reason); fold to (scope, stage).
-    drops_by_stage: dict[tuple[str, str], float] = {}
-    drops_by_scope: dict[str, float] = {}
-    for (scope, stage, _reason), count in drops.items():
-        drops_by_stage[(scope, stage)] = (
-            drops_by_stage.get((scope, stage), 0.0) + count
-        )
-        drops_by_scope[scope] = drops_by_scope.get(scope, 0.0) + count
+    stage_in = _scalar_groups(
+        metrics, "pipeline_stage_records_in_total", ("scope", "stage")
+    )
+    stage_out = _scalar_groups(
+        metrics, "pipeline_stage_records_out_total", ("scope", "stage")
+    )
+    # drops are labeled (scope, stage, reason); fold the reason away.
+    drops_by_stage = _scalar_groups(
+        metrics, "pipeline_drops_total", ("scope", "stage")
+    )
+    drops_by_scope = _scalar_groups(
+        metrics, "pipeline_drops_total", ("scope",)
+    )
     for key, entered in stage_in.items():
-        scope, stage = key
         left = stage_out.get(key, 0.0)
-        dropped = drops_by_stage.get((scope, stage), 0.0)
+        dropped = drops_by_stage.get(key, 0.0)
         if entered != left + dropped:
             problems.append(
-                f"stage {stage!r} scope {scope!r}: "
+                f"stage {key}: "
                 f"in={entered} != out={left} + drops={dropped}"
             )
 
-    seen = _scalar_values(metrics, "dedup_records_seen_total")
-    deduped = _scalar_values(metrics, "dedup_records_deduped_total")
-    unique = _scalar_values(metrics, "dedup_records_unique_total")
+    seen = _scalar_groups(metrics, "dedup_records_seen_total", ("scope",))
+    deduped = _scalar_groups(
+        metrics, "dedup_records_deduped_total", ("scope",)
+    )
+    unique = _scalar_groups(metrics, "dedup_records_unique_total", ("scope",))
     for key, total in seen.items():
         parts = deduped.get(key, 0.0) + unique.get(key, 0.0)
         if total != parts:
@@ -384,16 +397,15 @@ def check_reconciliation(document: dict) -> list[str]:
             )
     if stage_in:  # drops only flow when the pipeline ran
         for key, uniq in unique.items():
-            scope = key[0] if key else "_total"
-            dropped = drops_by_scope.get(scope)
+            dropped = drops_by_scope.get(key)
             if dropped is not None and uniq != dropped:
                 problems.append(
-                    f"scope {scope!r}: unique={uniq} != "
+                    f"scope {key}: unique={uniq} != "
                     f"sum(drops)={dropped}"
                 )
 
-    sent = _scalar_values(metrics, "network_bytes_sent_total")
-    delivered = _scalar_values(metrics, "network_bytes_delivered_total")
+    sent = _scalar_groups(metrics, "network_bytes_sent_total", ())
+    delivered = _scalar_groups(metrics, "network_bytes_delivered_total", ())
     for key, nbytes in delivered.items():
         limit = sent.get(key, 0.0)
         if nbytes > limit:

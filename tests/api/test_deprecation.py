@@ -1,0 +1,92 @@
+"""Legacy positional constructors: still work, warn exactly once."""
+
+import warnings
+
+import pytest
+
+from repro.core.config import DedupConfig
+from repro.core.engine import DedupEngine
+from repro.db.cluster import Cluster, ClusterConfig
+from repro.sim.costs import CostModel
+from repro.util.deprecation import (
+    reset_deprecation_warnings,
+    warn_once,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    """Each test sees a process that has never warned."""
+    reset_deprecation_warnings()
+    yield
+    reset_deprecation_warnings()
+
+
+class TestWarnOnce:
+    def test_fires_once_per_key(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert warn_once("k", "message")
+            assert not warn_once("k", "message")
+            assert warn_once("other", "message")
+        assert len(caught) == 2
+
+
+class TestClusterShim:
+    def test_positional_construction_warns_exactly_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            Cluster(ClusterConfig())
+            Cluster(ClusterConfig(), CostModel())
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+        assert "repro.api" in str(deprecations[0].message)
+
+    def test_positional_still_builds_equivalent_cluster(self):
+        config = ClusterConfig(insert_batch_size=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            legacy = Cluster(config)
+        assert legacy.config is config
+
+    def test_keyword_construction_never_warns(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            Cluster(config=ClusterConfig())
+        assert not [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_duplicate_argument_rejected(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with pytest.raises(TypeError):
+                Cluster(ClusterConfig(), config=ClusterConfig())
+
+    def test_excess_positionals_rejected(self):
+        with pytest.raises(TypeError):
+            Cluster(ClusterConfig(), CostModel(), "surprise")
+
+
+class TestEngineShim:
+    def test_positional_engine_warns_once(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            DedupEngine(DedupConfig())
+            DedupEngine(DedupConfig())
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 1
+
+    def test_each_constructor_warns_independently(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            Cluster(ClusterConfig())
+            DedupEngine(DedupConfig())
+        deprecations = [
+            w for w in caught if issubclass(w.category, DeprecationWarning)
+        ]
+        assert len(deprecations) == 2

@@ -1,0 +1,71 @@
+"""ClusterSpec: the consolidated, validated deployment description."""
+
+import dataclasses
+
+import pytest
+
+from repro.api import ClusterSpec
+from repro.core.config import DedupConfig
+
+
+class TestValidation:
+    def test_defaults_build(self):
+        spec = ClusterSpec()
+        assert spec.shards == 1
+        assert spec.placement == "hash"
+
+    def test_frozen(self):
+        spec = ClusterSpec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.shards = 4
+
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            ClusterSpec(DedupConfig())
+
+    def test_rejects_bad_shards(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(shards=0)
+
+    def test_rejects_bad_placement(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(placement="round-robin")
+
+    def test_delegates_cluster_config_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(insert_batch_size=0)
+        with pytest.raises(ValueError):
+            ClusterSpec(read_preference="nearest")
+
+
+class TestToClusterConfig:
+    def test_round_trips_every_shared_field(self):
+        dedup = DedupConfig(chunk_size=128)
+        spec = ClusterSpec(
+            dedup=dedup,
+            dedup_enabled=False,
+            block_compression="snappy",
+            batch_compression="zlib",
+            use_writeback_cache=False,
+            oplog_batch_bytes=1234,
+            page_size=8192,
+            insert_batch_size=4,
+            num_secondaries=2,
+            read_preference="secondary",
+        )
+        config = spec.to_cluster_config()
+        assert config.dedup is dedup
+        assert config.dedup_enabled is False
+        assert config.block_compression == "snappy"
+        assert config.batch_compression == "zlib"
+        assert config.use_writeback_cache is False
+        assert config.oplog_batch_bytes == 1234
+        assert config.page_size == 8192
+        assert config.insert_batch_size == 4
+        assert config.num_secondaries == 2
+        assert config.read_preference == "secondary"
+
+    def test_topology_fields_stay_on_spec(self):
+        config = ClusterSpec(shards=4, placement="prefix").to_cluster_config()
+        assert not hasattr(config, "shards")
+        assert not hasattr(config, "placement")

@@ -1,0 +1,39 @@
+"""Shard-scaling experiment: the dedup-ratio-vs-shard-count curve."""
+
+from repro.bench.sharding_exp import shard_scaling
+
+
+class TestShardScaling:
+    def test_sweep_shape_and_rendering(self):
+        result = shard_scaling(
+            target_bytes=80_000, shard_counts=(1, 2), seed=3
+        )
+        assert len(result.rows) == 4  # 2 placements x 2 counts
+        text = result.render()
+        assert "hash" in text and "prefix" in text
+        assert "storage x" in text
+
+    def test_prefix_placement_preserves_single_shard_ratio(self):
+        result = shard_scaling(
+            target_bytes=120_000, shard_counts=(1, 4), seed=3
+        )
+        by_key = {(r.placement, r.shards): r for r in result.rows}
+        base = by_key[("prefix", 1)].storage_ratio
+        assert by_key[("prefix", 4)].storage_ratio == base
+        assert by_key[("prefix", 4)].cross_shard_misses == 0
+        # Hash placement scatters entities: dedup degrades, misses appear.
+        assert by_key[("hash", 4)].storage_ratio < base
+        assert by_key[("hash", 4)].cross_shard_misses > 0
+
+    def test_check_invariants_flag(self):
+        result = shard_scaling(
+            target_bytes=60_000, shard_counts=(2,),
+            placements=("hash",), check_invariants=True,
+        )
+        assert all(row.invariants_ok for row in result.rows)
+
+    def test_imbalance_metric(self):
+        result = shard_scaling(
+            target_bytes=60_000, shard_counts=(1,), placements=("hash",)
+        )
+        assert result.rows[0].shard_imbalance == 1.0

@@ -1,0 +1,49 @@
+"""The API-boundary lint gate stays green and stays sharp."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "tools" / "check_api_boundary.py"
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+from check_api_boundary import ALLOWED, BANNED, find_violations  # noqa: E402
+
+
+class TestBoundary:
+    def test_repo_is_clean(self):
+        assert find_violations() == []
+
+    def test_script_exits_zero(self):
+        result = subprocess.run(
+            [sys.executable, str(SCRIPT)], capture_output=True, text=True
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_allowlist_entries_exist(self):
+        # A migrated (deleted/renamed) file must leave the allowlist, so
+        # the grandfathered set only ever shrinks.
+        for relative in ALLOWED:
+            assert (REPO_ROOT / relative).is_file(), relative
+
+    def test_regex_catches_each_banned_form(self):
+        banned = [
+            "from repro.db.cluster import Cluster",
+            "from repro.db import Cluster, Database",
+            "from repro import Cluster",
+            "from repro import ClusterConfig, Cluster",
+            "import repro.db.cluster",
+        ]
+        for line in banned:
+            assert BANNED.match(line), line
+
+    def test_regex_permits_public_names(self):
+        allowed = [
+            "from repro.api import ClusterSpec, open_cluster",
+            "from repro import ClusterSpec, open_cluster",
+            "from repro.db.cluster import ClusterConfig, RunResult",
+            "from repro.db.sharding import ShardedCluster",
+        ]
+        for line in allowed:
+            assert not BANNED.match(line), line

@@ -183,3 +183,45 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "cluster invariants FAILED" in out
         assert "convergence" in out
+
+
+class TestShardedCommands:
+    def test_run_with_shards_prints_per_shard_summary(self, capsys):
+        assert main([
+            "run", "--workload", "wikipedia", "--target-bytes", "120000",
+            "--shards", "4", "--batch-size", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shards:             4 (placement: hash)" in out
+        assert "replicas converged: True" in out
+        assert "cross-shard misses:" in out
+        assert "shard 3:" in out
+
+    def test_run_sharded_invariant_sweep(self, capsys):
+        assert main([
+            "run", "--workload", "wikipedia", "--target-bytes", "80000",
+            "--shards", "2", "--placement", "prefix", "--check-invariants",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cluster invariants OK" in out
+
+    def test_run_sharded_metrics_export_validates(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        assert main([
+            "run", "--workload", "wikipedia", "--target-bytes", "80000",
+            "--shards", "2", "--metrics-out", str(metrics_path),
+        ]) == 0
+        assert main(["check-metrics", str(metrics_path)]) == 0
+        import json
+
+        document = json.loads(metrics_path.read_text())
+        assert "shard" in document["metrics"]["dedup_records_seen_total"]["labels"]
+
+    def test_shard_scaling_experiment(self, capsys):
+        assert main([
+            "experiment", "shard-scaling", "--target-bytes", "80000",
+            "--shard-counts", "1,2", "--check-invariants",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "dedup ratio vs shard count" in out
+        assert "prefix" in out

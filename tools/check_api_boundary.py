@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Lint gate: code outside ``src/repro/`` must use the public API.
+
+The supported entry point is ``repro.api`` (``ClusterSpec`` +
+``open_cluster`` + ``DedupClient``); ``repro.db.cluster.Cluster`` is an
+internal constructor. This script fails CI when a file outside the
+library internals imports ``Cluster`` directly — unless the file is on
+the grandfathered allowlist of pre-redesign call sites below, which may
+shrink but must never grow.
+
+Run:  python tools/check_api_boundary.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Trees scanned for boundary violations (``src/repro`` itself is the
+#: implementation and may import its own internals freely).
+SCANNED_TREES = ("tests", "benchmarks", "examples", "tools")
+
+#: A ``from repro[...] import`` (or direct module import) that binds the
+#: bare name ``Cluster``. ``ClusterConfig``/``ClusterSpec``/
+#: ``ShardedCluster`` stay importable — only the internal constructor is
+#: fenced off.
+BANNED = re.compile(
+    r"^\s*("
+    r"from\s+repro(\.db(\.cluster)?)?\s+import\s+[(\w ,]*\bCluster\b"
+    r"|import\s+repro\.db\.cluster\b"
+    r")"
+)
+
+#: Pre-redesign call sites, grandfathered as-is. Shrink only: migrating
+#: one of these to ``repro.api`` removes its line; adding a NEW file
+#: here (or a new import in a file not listed) is a boundary violation.
+ALLOWED = frozenset({
+    "benchmarks/test_batch_insert.py",
+    "tests/analysis/test_chains.py",
+    "tests/api/test_client.py",       # exercises the boundary itself
+    "tests/api/test_deprecation.py",  # asserts the legacy shim warns
+    "tests/core/test_engine_rebuild.py",
+    "tests/core/test_maintenance.py",
+    "tests/db/test_batch_compression.py",
+    "tests/db/test_batch_insert.py",
+    "tests/db/test_checkpoint.py",
+    "tests/db/test_cluster.py",
+    "tests/db/test_invariants.py",
+    "tests/db/test_multi_secondary.py",
+    "tests/db/test_pending_references.py",
+    "tests/db/test_physical_cluster.py",
+    "tests/db/test_read_preference.py",
+    "tests/db/test_recovery.py",
+    "tests/db/test_snapshot.py",
+    "tests/integration/test_cluster_chaos.py",
+    "tests/integration/test_crud_dedup.py",
+    "tests/integration/test_end_to_end.py",
+    "tests/integration/test_failure_injection.py",
+    "tests/integration/test_observability.py",
+    "tests/integration/test_stateful.py",
+    "tests/sim/test_faults.py",
+    "tests/sim/test_network.py",
+    "tests/test_cli.py",
+    "tests/workloads/test_oltp.py",
+    "tests/workloads/test_trace_io.py",
+})
+
+
+def find_violations() -> list[tuple[str, int, str]]:
+    """``(relative_path, line_number, line)`` for every banned import."""
+    violations: list[tuple[str, int, str]] = []
+    for tree in SCANNED_TREES:
+        root = REPO_ROOT / tree
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*.py")):
+            relative = path.relative_to(REPO_ROOT).as_posix()
+            if relative in ALLOWED:
+                continue
+            for number, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                if BANNED.match(line):
+                    violations.append((relative, number, line.strip()))
+    return violations
+
+
+def main() -> int:
+    """Print violations; exit non-zero when the boundary is crossed."""
+    violations = find_violations()
+    for relative, number, line in violations:
+        print(
+            f"{relative}:{number}: imports internal Cluster "
+            f"(use repro.api.open_cluster): {line}"
+        )
+    if violations:
+        print(
+            f"\n{len(violations)} API-boundary violation(s). New code must "
+            "go through repro.api (see docs/API.md); do not extend the "
+            "allowlist in tools/check_api_boundary.py."
+        )
+        return 1
+    print("API boundary clean: no new internal Cluster imports.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
