@@ -14,5 +14,11 @@ see ``docs/API.md``.
 
 from repro.api.client import DedupClient, open_cluster
 from repro.api.spec import ClusterSpec
+from repro.db.errors import NodeUnavailableError
 
-__all__ = ["ClusterSpec", "DedupClient", "open_cluster"]
+__all__ = [
+    "ClusterSpec",
+    "DedupClient",
+    "NodeUnavailableError",
+    "open_cluster",
+]

@@ -16,6 +16,7 @@ from typing import Iterable
 
 from repro.api.spec import ClusterSpec
 from repro.db.cluster import Cluster, RunResult
+from repro.db.errors import NodeUnavailableError
 from repro.db.sharding import ShardedCluster
 from repro.workloads.base import Operation
 
@@ -89,11 +90,34 @@ class DedupClient:
 
     # -- CRUD -----------------------------------------------------------------
 
+    @staticmethod
+    def _unavailable(fault: NodeUnavailableError) -> NodeUnavailableError:
+        """Re-frame a node-level outage as a client-actionable error.
+
+        The type (and ``retriable`` flag) are preserved; the message
+        gains the contract the caller cares about: nothing was applied,
+        and a retry is safe once failover promotes a replacement. With
+        automatic failover enabled the cluster absorbs outages silently
+        — this error only reaches a client when failover is disabled or
+        no candidate could be promoted.
+        """
+        wrapped = NodeUnavailableError(fault.node_name, fault.role)
+        wrapped.args = (
+            f"{fault.args[0]} — the operation was not applied and is safe "
+            "to retry; enable automatic promotion with "
+            "ClusterSpec(failover_enabled=True) to absorb outages without "
+            "client errors",
+        )
+        return wrapped
+
     def insert(self, database: str, record_id: str, content: bytes) -> float:
         """Insert one record; returns the client latency in seconds."""
-        return self._cluster.execute(
-            Operation("insert", database, record_id, content)
-        )
+        try:
+            return self._cluster.execute(
+                Operation("insert", database, record_id, content)
+            )
+        except NodeUnavailableError as fault:
+            raise self._unavailable(fault) from fault
 
     def insert_many(
         self, records: Iterable[tuple[str, str, bytes]]
@@ -109,24 +133,36 @@ class DedupClient:
         ]
         if not ops:
             return 0.0
-        return self._cluster.execute_insert_batch(ops)
+        try:
+            return self._cluster.execute_insert_batch(ops)
+        except NodeUnavailableError as fault:
+            raise self._unavailable(fault) from fault
 
     def read(self, database: str, record_id: str) -> bytes | None:
         """Read one record's content (None when absent)."""
-        content, _latency = self._cluster.client_read(database, record_id)
+        try:
+            content, _latency = self._cluster.client_read(database, record_id)
+        except NodeUnavailableError as fault:
+            raise self._unavailable(fault) from fault
         return content
 
     def update(self, database: str, record_id: str, content: bytes) -> float:
         """Update one record; returns the client latency in seconds."""
-        return self._cluster.execute(
-            Operation("update", database, record_id, content)
-        )
+        try:
+            return self._cluster.execute(
+                Operation("update", database, record_id, content)
+            )
+        except NodeUnavailableError as fault:
+            raise self._unavailable(fault) from fault
 
     def delete(self, database: str, record_id: str) -> float:
         """Delete one record; returns the client latency in seconds."""
-        return self._cluster.execute(
-            Operation("delete", database, record_id)
-        )
+        try:
+            return self._cluster.execute(
+                Operation("delete", database, record_id)
+            )
+        except NodeUnavailableError as fault:
+            raise self._unavailable(fault) from fault
 
     # -- lifecycle ------------------------------------------------------------
 

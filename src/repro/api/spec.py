@@ -15,6 +15,11 @@ from dataclasses import dataclass, field
 
 from repro.core.config import DedupConfig
 from repro.db.cluster import ClusterConfig
+from repro.db.failover import (
+    DEFAULT_FAILOVER_TIMEOUT_S,
+    DEFAULT_HEARTBEAT_INTERVAL_S,
+    DEFAULT_REJOIN_DELAY_S,
+)
 from repro.db.replication import DEFAULT_BATCH_BYTES
 from repro.db.sharding import PLACEMENTS
 from repro.sim.costs import CostModel
@@ -42,6 +47,16 @@ class ClusterSpec:
         num_secondaries: replicas per shard (>= 1).
         read_preference: 'primary' or 'secondary'.
         physical_storage: use the slotted-page/buffer-pool engine.
+        failover_enabled: automatic promotion of a caught-up secondary
+            when the primary dies (per shard). False restores the old
+            behavior: operations against a dead primary raise
+            :class:`~repro.db.errors.NodeUnavailableError`.
+        heartbeat_interval_s: how often the failover monitor samples
+            node health (simulated seconds).
+        failover_timeout_s: how long the primary must stay unresponsive
+            before a secondary is promoted.
+        rejoin_delay_s: grace period before a revived old primary is
+            rolled back and re-admitted as a secondary.
         shards: number of independent shards (1 = plain cluster).
         placement: 'hash' (uniform) or 'prefix' (locality-preserving) —
             see :class:`~repro.db.sharding.ShardRouter`.
@@ -62,6 +77,10 @@ class ClusterSpec:
     num_secondaries: int = 1
     read_preference: str = "primary"
     physical_storage: bool = False
+    failover_enabled: bool = True
+    heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S
+    failover_timeout_s: float = DEFAULT_FAILOVER_TIMEOUT_S
+    rejoin_delay_s: float = DEFAULT_REJOIN_DELAY_S
     shards: int = 1
     placement: str = "hash"
     costs: CostModel | None = None
@@ -96,4 +115,8 @@ class ClusterSpec:
             num_secondaries=self.num_secondaries,
             read_preference=self.read_preference,
             physical_storage=self.physical_storage,
+            failover_enabled=self.failover_enabled,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            failover_timeout_s=self.failover_timeout_s,
+            rejoin_delay_s=self.rejoin_delay_s,
         )

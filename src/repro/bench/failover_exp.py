@@ -1,0 +1,162 @@
+"""Failover experiment: time-to-promote and the lost-write window.
+
+dbDedup's recovery story (§4.4) is that dedup state is *reconstructible*
+— after a crash the index and caches rebuild from the record store and
+oplog off the critical path. This experiment kills nodes mid-workload
+under the seeded fault layer and measures what that costs end to end:
+
+* **time-to-promote** — simulated seconds between the primary dying and
+  a secondary taking over writes;
+* **lost-write window** — inserts the dead primary acknowledged but
+  never replicated; divergence rollback discards them when it rejoins
+  (the price of asynchronous replication, not of deduplication);
+* **resync bytes** — what the rejoining node pulls through the ordinary
+  at-least-once shipping path to catch back up.
+
+Scenarios share one workload trace (same seed), so differences are
+attributable to the fault alone. ``tight`` ships the oplog per-entry
+(``oplog_batch_bytes=1``), shrinking the lost-write window to zero —
+the knob a deployment turns when it cares more about the window than
+about batching efficiency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.api import ClusterSpec, open_cluster
+from repro.bench.report import render_table
+from repro.core.config import DedupConfig
+from repro.sim.faults import CrashNode, FaultPlan
+from repro.workloads import make_workload
+
+#: Scenario name -> (crash rule factory, spec overrides).
+SCENARIOS = ("none", "primary-kill", "primary-kill-tight", "secondary-kill")
+
+
+@dataclass(frozen=True)
+class FailoverRow:
+    """One scenario's outcome."""
+
+    scenario: str
+    operations: int
+    failovers: int
+    time_to_promote_s: float | None
+    stalled_ops: int
+    lost_writes: int
+    resync_bytes: int
+    supervised_restarts: int
+    converged: bool
+    invariants_ok: bool
+
+
+@dataclass
+class FailoverResult:
+    """Full scenario sweep over one workload trace."""
+
+    workload: str
+    seed: int
+    rows: list[FailoverRow] = field(default_factory=list)
+    #: Per-scenario failover event logs (CI uploads these as artifacts).
+    event_logs: dict[str, str] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Aligned monospace table of the sweep."""
+        return render_table(
+            f"Failover — promotion latency and lost-write window "
+            f"({self.workload}, seed={self.seed})",
+            ["scenario", "ops", "failovers", "promote s", "stalled",
+             "lost writes", "resync B", "restarts", "converged",
+             "invariants"],
+            [
+                (
+                    row.scenario,
+                    row.operations,
+                    row.failovers,
+                    "-" if row.time_to_promote_s is None
+                    else row.time_to_promote_s,
+                    row.stalled_ops,
+                    row.lost_writes,
+                    row.resync_bytes,
+                    row.supervised_restarts,
+                    "yes" if row.converged else "NO",
+                    "ok" if row.invariants_ok else "FAILED",
+                )
+                for row in self.rows
+            ],
+        )
+
+
+def _scenario_rule(scenario: str, crash_seq: int) -> CrashNode | None:
+    """The crash rule one scenario installs (None for the baseline)."""
+    if scenario == "none":
+        return None
+    if scenario == "secondary-kill":
+        return CrashNode(
+            node="secondary:0", after_appends=crash_seq, restart=False
+        )
+    return CrashNode(node="primary", after_appends=crash_seq, restart=False)
+
+
+def failover_experiment(
+    workload_name: str = "wikipedia",
+    target_bytes: int = 300_000,
+    seed: int = 7,
+    crash_fraction: float = 0.5,
+    num_secondaries: int = 2,
+    scenarios: tuple[str, ...] = SCENARIOS,
+    chunk_size: int = 64,
+) -> FailoverResult:
+    """Kill nodes mid-workload; measure promotion latency and data loss.
+
+    Every scenario replays the same insert trace into a fresh cluster
+    with a :class:`CrashNode` rule armed at ``crash_fraction`` of the
+    trace. ``primary-kill`` runs the default shipping threshold (a real
+    lost-write window), ``primary-kill-tight`` ships per-entry so the
+    window collapses to zero, and ``secondary-kill`` exercises the
+    supervised-restart path instead of promotion.
+    """
+    result = FailoverResult(workload=workload_name, seed=seed)
+    for scenario in scenarios:
+        workload = make_workload(
+            workload_name, seed=seed, target_bytes=target_bytes
+        )
+        trace = list(workload.insert_trace())
+        inserts = sum(1 for op in trace if op.kind == "insert")
+        crash_seq = max(1, int(inserts * crash_fraction))
+        spec = ClusterSpec(
+            dedup=DedupConfig(chunk_size=chunk_size),
+            num_secondaries=num_secondaries,
+            # Per-entry shipping where the scenario needs it: "tight"
+            # shrinks the lost-write window to zero, and the secondary
+            # kill triggers off the *replica's* oplog, which only moves
+            # when batches apply.
+            oplog_batch_bytes=(
+                1 if scenario in ("primary-kill-tight", "secondary-kill")
+                else ClusterSpec().oplog_batch_bytes
+            ),
+        )
+        client = open_cluster(spec)
+        cluster = client.cluster
+        rule = _scenario_rule(scenario, crash_seq)
+        if rule is not None:
+            FaultPlan(seed=seed, rules=[rule]).install(cluster)
+        run = client.run(trace)
+        failover = cluster.failover
+        report = client.check_invariants(strict=False)
+        result.event_logs[scenario] = failover.event_log()
+        result.rows.append(
+            FailoverRow(
+                scenario=scenario,
+                operations=run.operations,
+                failovers=failover.failovers,
+                time_to_promote_s=failover.last_time_to_promote_s,
+                stalled_ops=failover.stalled_ops,
+                lost_writes=failover.rollback_entries,
+                resync_bytes=failover.resync_bytes,
+                supervised_restarts=failover.supervised_restarts,
+                converged=cluster.replicas_converged(),
+                invariants_ok=report.ok,
+            )
+        )
+    return result

@@ -16,6 +16,7 @@ import sys
 from repro.api import ClusterSpec, DedupClient, open_cluster
 from repro.bench import experiments
 from repro.bench import ablations
+from repro.bench.failover_exp import failover_experiment
 from repro.bench.pipeline_profile import pipeline_profile
 from repro.bench.sharding_exp import shard_scaling
 from repro.core.config import DedupConfig
@@ -59,6 +60,10 @@ EXPERIMENTS = {
         ),
         check_invariants=args.check_invariants,
     ),
+    "failover": lambda args: failover_experiment(
+        args.workload, target_bytes=args.target_bytes,
+        seed=args.seed, crash_fraction=args.crash_fraction,
+    ),
 }
 
 
@@ -100,6 +105,10 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--check-invariants", action="store_true",
                      help="shard-scaling: run the full invariant sweep at "
                           "every sweep point (a violation aborts)")
+    exp.add_argument("--seed", type=int, default=7,
+                     help="workload + fault seed for the failover scenarios")
+    exp.add_argument("--crash-fraction", type=float, default=0.5,
+                     help="failover: kill the node this far into the trace")
     _add_obs_arguments(exp)
 
     run = sub.add_parser("run", help="run a workload through a cluster")

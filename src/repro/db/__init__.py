@@ -8,6 +8,13 @@ shipped in batches to a secondary, and the CRUD semantics dbDedup needs
 
 from repro.db.cluster import Cluster, ClusterConfig, RunResult
 from repro.db.database import Database
+from repro.db.errors import NodeUnavailableError
+from repro.db.failover import (
+    FailoverConfig,
+    FailoverEvent,
+    FailoverManager,
+    divergence_point,
+)
 from repro.db.invariants import (
     ClusterInvariantError,
     InvariantReport,
@@ -47,4 +54,9 @@ __all__ = [
     "ClusterInvariantError",
     "InvariantReport",
     "InvariantViolation",
+    "FailoverConfig",
+    "FailoverEvent",
+    "FailoverManager",
+    "NodeUnavailableError",
+    "divergence_point",
 ]

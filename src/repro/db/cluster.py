@@ -12,7 +12,14 @@ from dataclasses import dataclass, field
 
 from repro.compression.block import make_block_compressor
 from repro.core.config import DedupConfig
-from repro.db.errors import CorruptChain, CorruptPage
+from repro.db.errors import CorruptChain, CorruptPage, NodeUnavailableError
+from repro.db.failover import (
+    DEFAULT_FAILOVER_TIMEOUT_S,
+    DEFAULT_HEARTBEAT_INTERVAL_S,
+    DEFAULT_REJOIN_DELAY_S,
+    FailoverConfig,
+    FailoverManager,
+)
 from repro.db.node import PrimaryNode, SecondaryNode
 from repro.db.replication import DEFAULT_BATCH_BYTES, ReplicationLink
 from repro.obs import MetricsRegistry, TimeSeriesSampler, Tracer
@@ -61,6 +68,17 @@ class ClusterConfig:
     #: Use the full slotted-page/buffer-pool engine (repro.storage) instead
     #: of the accounting page store. Slower, physically faithful.
     physical_storage: bool = False
+    #: Automatic failover: promote a caught-up secondary when the primary
+    #: stays down. Default-on is safe — the monitor only acts when a node
+    #: actually stays unavailable, which only fault injection causes, and
+    #: its heartbeat observation is passive (no clock, no randomness).
+    failover_enabled: bool = True
+    #: Heartbeat observation cadence (simulated seconds).
+    heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S
+    #: Primary unavailability span that triggers an election.
+    failover_timeout_s: float = DEFAULT_FAILOVER_TIMEOUT_S
+    #: Wait before the demoted old primary rejoins as a secondary.
+    rejoin_delay_s: float = DEFAULT_REJOIN_DELAY_S
 
     def __post_init__(self) -> None:
         if self.insert_batch_size < 1:
@@ -76,6 +94,18 @@ class ClusterConfig:
                 f"read_preference must be 'primary' or 'secondary', got "
                 f"{self.read_preference!r}"
             )
+        # FailoverConfig owns the knob validation; a bad combination
+        # fails at configuration time, not first outage.
+        self.to_failover_config()
+
+    def to_failover_config(self) -> FailoverConfig:
+        """The failover knobs as a validated :class:`FailoverConfig`."""
+        return FailoverConfig(
+            enabled=self.failover_enabled,
+            heartbeat_interval_s=self.heartbeat_interval_s,
+            failover_timeout_s=self.failover_timeout_s,
+            rejoin_delay_s=self.rejoin_delay_s,
+        )
 
 
 @dataclass
@@ -232,22 +262,16 @@ class Cluster:
         ]
         self.network = SimNetwork(self.clock, self.costs)
         self.network.tracer = self.tracer
-        batch_compressor = (
+        self._batch_compressor = (
             make_block_compressor(self.config.batch_compression)
             if self.config.batch_compression != "none"
             else None
         )
         self.links = [
-            ReplicationLink(
-                self.primary,
-                secondary,
-                self.network,
-                self.config.oplog_batch_bytes,
-                batch_compressor=batch_compressor,
-                tracer=self.tracer,
-            )
-            for secondary in self.secondaries
+            self._make_link(secondary) for secondary in self.secondaries
         ]
+        #: Heartbeat monitor + promotion/rollback/resync driver.
+        self.failover = FailoverManager(self, self.config.to_failover_config())
         self.inserts = 0
         self.reads = 0
         self.secondary_reads = 0
@@ -262,6 +286,22 @@ class Cluster:
         self._install_collectors()
         if cap is not None:
             cap.register(self)
+
+    def _make_link(self, secondary: SecondaryNode) -> ReplicationLink:
+        """A replication link from the *current* primary to a secondary.
+
+        Used at boot and again by the failover manager, which rebuilds
+        every link against the promoted primary (seeking each cursor to
+        the divergence point agreed with that replica).
+        """
+        return ReplicationLink(
+            self.primary,
+            secondary,
+            self.network,
+            self.config.oplog_batch_bytes,
+            batch_compressor=self._batch_compressor,
+            tracer=self.tracer,
+        )
 
     def _install_collectors(self) -> None:
         """Export network, replication and cluster counters lazily."""
@@ -330,6 +370,35 @@ class Cluster:
             "cluster_stale_read_fallbacks_total",
             "Secondary reads served by the primary (replica was stale)",
         ).collect(lambda: {(): float(self.stale_read_fallbacks)})
+        reg.counter(
+            "failovers_total",
+            "Secondary promotions after a primary was declared dead",
+        ).collect(lambda: {(): float(self.failover.failovers)})
+        reg.counter(
+            "rollback_entries_total",
+            "Oplog entries dropped by divergence rollbacks (the lost-"
+            "write window of asynchronous replication)",
+        ).collect(lambda: {(): float(self.failover.rollback_entries)})
+        reg.counter(
+            "resync_bytes_total",
+            "Catch-up wire bytes shipped to rejoining replicas",
+        ).collect(lambda: {(): float(self.failover.resync_bytes)})
+        reg.counter(
+            "failover_supervised_restarts_total",
+            "Downed secondaries revived by the failover supervisor",
+        ).collect(lambda: {(): float(self.failover.supervised_restarts)})
+        reg.counter(
+            "failover_stalled_ops_total",
+            "Client operations that waited out a promotion",
+        ).collect(lambda: {(): float(self.failover.stalled_ops)})
+        reg.counter(
+            "oplog_appends_total",
+            "Entries ever appended to each node's oplog (monotonic; "
+            "rollbacks truncate the log but never this counter)",
+            ("node",),
+        ).collect(lambda: {
+            (name,): float(node.oplog.appends) for name, node in self.nodes()
+        })
 
     @classmethod
     def from_spec(
@@ -382,6 +451,40 @@ class Cluster:
         for index, secondary in enumerate(self.secondaries):
             yield f"secondary{index}", secondary
 
+    def _await_primary(self) -> PrimaryNode:
+        """The current primary, waiting out a promotion if it is down.
+
+        The client-transparency half of failover: while the primary is
+        unavailable, simulated time advances heartbeat by heartbeat (the
+        wait the client actually experiences) and the monitor ticks until
+        it elects a replacement — the retried operation then lands on the
+        promoted node. With failover disabled, or when no candidate ever
+        becomes available, the typed :class:`NodeUnavailableError`
+        surfaces to the caller instead.
+        """
+        if self.primary.is_available:
+            return self.primary
+        failover = self.failover
+        if not self.config.failover_enabled:
+            raise NodeUnavailableError(self.primary.node_name, "primary")
+        failover.stalled_ops += 1
+        interval = self.config.heartbeat_interval_s
+        attempts = (
+            int(self.config.failover_timeout_s / interval)
+            + int(self.config.rejoin_delay_s / interval)
+            + 16
+        )
+        for _ in range(attempts):
+            self.clock.advance(interval)
+            failover.tick()
+            if self.primary.is_available:
+                return self.primary
+        raise NodeUnavailableError(self.primary.node_name, "primary")
+
+    def _primary_op(self, method: str, *args) -> float:
+        """Dispatch one write to the (possibly just-promoted) primary."""
+        return getattr(self._await_primary(), method)(*args)
+
     def execute(self, op: Operation) -> float:
         """Run one client operation; returns its latency and advances time."""
         if op.kind == "idle":
@@ -389,19 +492,19 @@ class Cluster:
         span = self.tracer.start_span(f"op:{op.kind}", record_id=op.record_id)
         try:
             if op.kind == "insert":
-                latency = self.primary.insert(
-                    op.database, op.record_id, op.content
+                latency = self._primary_op(
+                    "insert", op.database, op.record_id, op.content
                 )
                 self.inserts += 1
             elif op.kind == "read":
                 _, latency = self.read(op.database, op.record_id)
                 self.reads += 1
             elif op.kind == "update":
-                latency = self.primary.update(
-                    op.database, op.record_id, op.content
+                latency = self._primary_op(
+                    "update", op.database, op.record_id, op.content
                 )
             elif op.kind == "delete":
-                latency = self.primary.delete(op.database, op.record_id)
+                latency = self._primary_op("delete", op.database, op.record_id)
             else:
                 raise ValueError(f"unknown operation kind {op.kind!r}")
             span.annotate("latency_s", latency)
@@ -413,6 +516,7 @@ class Cluster:
             self.tracer.end_span(span)
         if self.fault_plan is not None:
             self.fault_plan.after_operation(self)
+        self.failover.tick()
         if self.sampler is not None:
             self.sampler.note_op()
         return latency
@@ -426,8 +530,9 @@ class Cluster:
         """
         span = self.tracer.start_span("op:insert_batch", records=len(ops))
         try:
-            latency = self.primary.insert_batch(
-                [(op.database, op.record_id, op.content) for op in ops]
+            latency = self._primary_op(
+                "insert_batch",
+                [(op.database, op.record_id, op.content) for op in ops],
             )
             self.inserts += len(ops)
             span.annotate("latency_s", latency)
@@ -438,10 +543,20 @@ class Cluster:
             self.tracer.end_span(span)
         if self.fault_plan is not None:
             self.fault_plan.after_operation(self)
+        self.failover.tick()
         if self.sampler is not None:
             for _ in ops:
                 self.sampler.note_op()
         return latency
+
+    def primary_insert_batch(self, items: list[tuple[str, str, bytes]]) -> float:
+        """One shard-local batch insert with failover transparency.
+
+        The sharded batch path calls each shard's primary directly (the
+        shared clock advances once for the whole client batch); this
+        wrapper keeps that call promotion-safe.
+        """
+        return self._primary_op("insert_batch", items)
 
     def client_read(
         self, database: str, record_id: str
@@ -464,6 +579,7 @@ class Cluster:
             self.tracer.end_span(span)
         if self.fault_plan is not None:
             self.fault_plan.after_operation(self)
+        self.failover.tick()
         if self.sampler is not None:
             self.sampler.note_op()
         return content, latency
@@ -477,24 +593,40 @@ class Cluster:
         network round trip each way.
         """
         if self.config.read_preference == "primary":
-            return self._read_with_repair(self.primary, database, record_id)
-        secondary = self.secondaries[self._read_cursor % len(self.secondaries)]
-        self._read_cursor += 1
-        self.secondary_reads += 1
+            return self._read_with_repair(
+                self._await_primary(), database, record_id
+            )
+        # Rotate across replicas, skipping any that are down; when every
+        # replica is down the primary serves (same as the stale path).
+        secondary = None
+        for _ in range(len(self.secondaries)):
+            candidate = self.secondaries[
+                self._read_cursor % len(self.secondaries)
+            ]
+            self._read_cursor += 1
+            if candidate.is_available:
+                secondary = candidate
+                break
         latency = self.costs.network_time(256)  # request hop
-        if record_id in secondary.db.records and not secondary.db.records[
-            record_id
-        ].deleted:
-            content, disk_latency = self._read_with_repair(
-                secondary, database, record_id
-            )
-            return content, latency + disk_latency + self.costs.network_time(
-                len(content) if content else 64
-            )
-        # Stale replica (or record deleted there): primary serves it.
+        if secondary is not None:
+            self.secondary_reads += 1
+            if record_id in secondary.db.records and not secondary.db.records[
+                record_id
+            ].deleted:
+                content, disk_latency = self._read_with_repair(
+                    secondary, database, record_id
+                )
+                return (
+                    content,
+                    latency
+                    + disk_latency
+                    + self.costs.network_time(len(content) if content else 64),
+                )
+        # Stale replica (or record deleted there, or no replica up):
+        # the primary serves it.
         self.stale_read_fallbacks += 1
         content, primary_latency = self._read_with_repair(
-            self.primary, database, record_id
+            self._await_primary(), database, record_id
         )
         return content, latency + primary_latency + self.costs.network_time(
             len(content) if content else 64
@@ -602,6 +734,7 @@ class Cluster:
         while remaining > 0:
             self.clock.advance(min(step, remaining))
             remaining -= step
+            self.failover.tick()
             self.primary.on_idle()
         return 0.0
 
@@ -703,7 +836,12 @@ class Cluster:
         and leave the batch pending, so one round is not enough. The
         round bound only trips when a fault plan drops *every* delivery
         forever — real plans have probabilistic or limited rules.
+
+        Settles failover first: a pending promotion or rejoin completes
+        (and the promoted primary's deferred index rebuild drains) before
+        the tail ships, so the head below is the surviving history.
         """
+        self.failover.settle()
         head = self.primary.oplog.next_seq
         for _ in range(64):
             if all(link.cursor >= head for link in self.links):

@@ -27,6 +27,30 @@ class CorruptChain(DatabaseError):
     """A decode walk failed: dangling base pointer or cycle."""
 
 
+class NodeUnavailableError(DatabaseError):
+    """A client operation reached a crashed (or demoted) node.
+
+    Raised by node entry points while the process is down. The condition
+    is *retriable*: with failover enabled the cluster promotes a caught-up
+    secondary and the retried operation lands on the new primary —
+    :class:`~repro.api.client.DedupClient` surfaces it with that hint.
+
+    Attributes:
+        node_name: stable name of the unavailable node.
+        role: ``"primary"`` or ``"secondary"`` at the time of the call.
+        retriable: always True — the caller may retry after failover.
+    """
+
+    def __init__(self, node_name: str, role: str = "primary") -> None:
+        super().__init__(
+            f"{role} node {node_name!r} is unavailable (crashed or "
+            "demoted); retry after failover"
+        )
+        self.node_name = node_name
+        self.role = role
+        self.retriable = True
+
+
 class CorruptPage(DatabaseError):
     """A record's stored bytes failed checksum verification.
 

@@ -21,6 +21,10 @@ encode the safety argument of the whole reproduction —
   truncation, when the log alone no longer covers history);
 * **convergence** — once replication drains, secondaries hold the same
   live records with the same contents as the primary;
+* **single primary / rollback completeness** — after failover settles,
+  exactly one available node holds the primary role, inserts dropped by
+  a divergence rollback leave no zombie records on any node, and the
+  promoted primary's deferred index rebuild has drained;
 * **hop bound** — decode chains respect the hop policy's nominal depth
   bound. This one is *conditional*: dropped write-backs, unprofitable
   deltas and overlapped (Fig. 5) encodings all legitimately leave
@@ -429,6 +433,9 @@ def check_cluster(
             )
         if drain:
             _check_convergence(cluster, report)
+            if getattr(cluster, "failover", None) is not None:
+                _check_single_primary(cluster, report)
+                _check_rollback_completeness(cluster, report)
         if strict and not report.ok:
             raise ClusterInvariantError(report)
         return report
@@ -505,6 +512,73 @@ def _check_placement(cluster, report: InvariantReport) -> None:
         report.add(
             "router", "placement",
             f"router counted {routed} inserts, shards accepted {accepted}",
+        )
+
+
+def _check_single_primary(cluster, report: InvariantReport) -> None:
+    """Exactly one node holds the primary role, and it is up.
+
+    After failover settles there must be one available primary — the
+    write path has somewhere to go — and every replica must identify as
+    a secondary (a demoted node that still believed it was primary would
+    accept divergent writes). A node still awaiting rejoin is fine: it
+    holds no role until the rejoin completes or is blocked.
+    """
+    primary = cluster.primary
+    if not getattr(primary, "is_available", True):
+        report.add(
+            "primary", "single-primary",
+            "no available primary after failover settled",
+        )
+    if getattr(primary.db, "node_role", "primary") != "primary":
+        report.add(
+            "primary", "single-primary",
+            f"primary's store carries role {primary.db.node_role!r}",
+        )
+    for position, secondary in enumerate(cluster.secondaries):
+        role = getattr(secondary.db, "node_role", "secondary")
+        if role != "secondary":
+            report.add(
+                f"secondary{position}", "single-primary",
+                f"replica's store carries role {role!r}",
+            )
+
+
+def _check_rollback_completeness(cluster, report: InvariantReport) -> None:
+    """Rolled-back inserts leave no zombies behind.
+
+    Every insert a rollback dropped (recorded per failover event) must
+    be gone from every node — unless the surviving history independently
+    contains that record id, in which case the live copy is the
+    authoritative one, not a leftover. The promoted primary's deferred
+    index rebuild must also have drained: an entry still in the backlog
+    would mean reads can dedup against records the index never saw.
+    """
+    failover = cluster.failover
+    rolled_back: set[str] = set()
+    for event in failover.events:
+        rolled_back.update(event.rolled_back_inserts)
+    if rolled_back:
+        authorized = {
+            entry.record_id
+            for entry in cluster.primary.oplog.entries()
+            if entry.op == "insert"
+        }
+        for name, node in cluster.nodes():
+            for record_id in sorted(rolled_back - authorized):
+                record = node.db.records.get(record_id)
+                if record is not None and not record.deleted:
+                    report.add(
+                        name, "rollback",
+                        "rolled-back insert still live (zombie record)",
+                        record_id,
+                    )
+    backlog = getattr(cluster.primary, "index_backlog_len", 0)
+    if backlog:
+        report.add(
+            "primary", "promoted-index",
+            f"deferred index rebuild backlog not drained "
+            f"({backlog} record(s) pending)",
         )
 
 

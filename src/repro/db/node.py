@@ -14,6 +14,7 @@ from repro.core.engine import DedupEngine
 from repro.core.reencoder import SecondaryReencoder
 from repro.compression.block import BlockCompressor
 from repro.db.database import Database
+from repro.db.errors import NodeUnavailableError
 from repro.db.oplog import Oplog, OplogEntry
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracing import NULL_TRACER, Tracer, TracingObserver
@@ -189,8 +190,98 @@ class PrimaryNode:
         self.background_cpu_seconds = 0.0
         self.crashes = 0
         self._crashed = False
+        #: Record ids still awaiting feature-index registration after a
+        #: promotion — the deferred (out-of-line) rebuild drained by
+        #: :meth:`drain_index_backlog`.
+        self._index_backlog: list[str] = []
         if self.registry is not None:
             _install_node_collectors(self.registry, self)
+
+    @classmethod
+    def from_secondary(
+        cls, secondary: "SecondaryNode", *, use_writeback_cache: bool = True
+    ) -> "PrimaryNode":
+        """Promote a caught-up secondary: adopt its store and local oplog.
+
+        The promoted node keeps the secondary's record store (every
+        replicated byte) and its local oplog (the write-ahead history new
+        secondaries resync from) — nothing is copied or replayed. What a
+        secondary does *not* have is the primary-side dedup machinery:
+        the feature index, chain bookkeeping and source cache. Rebuilding
+        those inline would stall the first post-failover writes for the
+        whole corpus, so the rebuild is deferred — record ids queue on an
+        index backlog consumed incrementally (a slice per insert, more
+        when idle) by :meth:`drain_index_backlog`. Until a record is
+        re-indexed, new writes simply miss dedup opportunities against it
+        — costing compression, never correctness.
+        """
+        node = cls(
+            clock=secondary.clock,
+            costs=secondary.costs,
+            config=secondary.config,
+            dedup_enabled=secondary.dedup_enabled,
+            block_compressor=secondary._block_compressor,
+            inline_block_compression=secondary._block_compressor is not None,
+            use_writeback_cache=use_writeback_cache,
+            page_size=secondary._page_size,
+            physical_storage=secondary._physical_storage,
+            registry=secondary.registry,
+            tracer=secondary.tracer,
+            node_name=secondary.node_name,
+        )
+        node.db = secondary.db
+        node.db.node_role = "primary"
+        if node.engine is not None:
+            # The store's decode cache becomes the engine's source cache
+            # (same invalidation contract the constructor wires).
+            node.db.record_cache = node.engine.source_cache
+        node.oplog = secondary.oplog
+        node.crashes = secondary.crashes
+        node.background_cpu_seconds = secondary.background_cpu_seconds
+        if node.engine is not None:
+            order: list[str] = []
+            seen: set[str] = set()
+            for entry in node.oplog.entries():
+                if entry.op == "insert" and entry.record_id not in seen:
+                    seen.add(entry.record_id)
+                    order.append(entry.record_id)
+            node._index_backlog = sorted(set(node.db.records) - seen) + order
+        return node
+
+    @property
+    def is_available(self) -> bool:
+        """False while the simulated process is down."""
+        return not self._crashed
+
+    def _require_available(self) -> None:
+        if self._crashed:
+            raise NodeUnavailableError(self.node_name, "primary")
+
+    @property
+    def index_backlog_len(self) -> int:
+        """Records still awaiting deferred post-promotion indexing."""
+        return len(self._index_backlog)
+
+    def drain_index_backlog(self, max_records: int | None = None) -> int:
+        """Consume part of the deferred post-promotion index rebuild.
+
+        Re-indexes up to ``max_records`` backlog records (all of them
+        when None) through the engine's restart-path rebuild, charging
+        the sketching CPU as background work. Returns records indexed.
+        """
+        if self.engine is None or not self._index_backlog:
+            return 0
+        if max_records is None:
+            max_records = len(self._index_backlog)
+        chunk = self._index_backlog[:max_records]
+        self._index_backlog = self._index_backlog[max_records:]
+        charged = sum(
+            len(self.db.records[record_id].payload)
+            for record_id in chunk
+            if record_id in self.db.records
+        )
+        self.background_cpu_seconds += charged * self.costs.cpu_chunk_byte_s
+        return self.engine.rebuild_from(self.db, order=chunk)
 
     def _build_engine(self) -> DedupEngine:
         """A dedup engine sharing the node's registry and tracer."""
@@ -284,8 +375,15 @@ class PrimaryNode:
 
     # -- client operations (return the latency the client observes) ----------
 
+    #: Backlog records re-indexed per client insert after a promotion —
+    #: the deferred rebuild rides along on foreground traffic without
+    #: stalling it (plus larger slices whenever the node goes idle).
+    INDEX_REBUILD_SLICE = 8
+
     def insert(self, database: str, record_id: str, content: bytes) -> float:
         """Insert a record; dedup encode happens off the critical path."""
+        self._require_available()
+        self.drain_index_backlog(self.INDEX_REBUILD_SLICE)
         latency = self.costs.request_overhead_s
         if self.inline_block_compression:
             # Inline page compression (the Snappy configuration) costs CPU
@@ -338,6 +436,8 @@ class PrimaryNode:
         and chain bookkeeping are identical to the per-record path and in
         the same order, so replicas replay the stream unchanged.
         """
+        self._require_available()
+        self.drain_index_backlog(self.INDEX_REBUILD_SLICE)
         latency = self.costs.request_overhead_s
         if self.inline_block_compression:
             total_bytes = sum(len(content) for _, _, content in items)
@@ -380,11 +480,13 @@ class PrimaryNode:
 
     def read(self, database: str, record_id: str) -> tuple[bytes | None, float]:
         """Client read, decoding if the record is delta-encoded."""
+        self._require_available()
         content, disk_latency = self.db.read(database, record_id)
         return content, self.costs.request_overhead_s + disk_latency
 
     def update(self, database: str, record_id: str, content: bytes) -> float:
         """Replace a record's content."""
+        self._require_available()
         latency = self.costs.request_overhead_s + self.db.update(record_id, content)
         self.oplog.append(
             self.clock.now, "update", database, record_id, payload=content
@@ -393,6 +495,7 @@ class PrimaryNode:
 
     def delete(self, database: str, record_id: str) -> float:
         """Delete a record."""
+        self._require_available()
         latency = self.costs.request_overhead_s + self.db.delete(record_id)
         if self.engine is not None:
             # Per-record engine bookkeeping (insertion sequence) must not
@@ -403,6 +506,9 @@ class PrimaryNode:
 
     def on_idle(self) -> int:
         """Drain background work while the client is quiet (Fig. 13b)."""
+        if self._crashed:
+            return 0
+        self.drain_index_backlog(8 * self.INDEX_REBUILD_SLICE)
         return self.db.flush_writebacks_if_idle()
 
     def checkpoint(self, path, replica_cursors: list[int] | None = None) -> int:
@@ -491,6 +597,85 @@ class SecondaryNode:
                 "Encoded entries applied raw because the base was missing",
                 ("node",),
             ).collect(lambda: {(self.node_name,): float(self.decode_fallbacks)})
+
+    @classmethod
+    def from_demoted_primary(cls, node: PrimaryNode) -> "SecondaryNode":
+        """Rebuild a rolled-back old primary as a secondary replica.
+
+        Called by the failover manager after the rejoining node's oplog
+        suffix was truncated at the divergence point: the retained log is
+        replayed into a fresh store on the node's surviving disk, and the
+        node re-enters the replica set with a clean re-encoder (existing
+        chains stay as stored; future encoded entries start new ones).
+
+        Raises:
+            ValueError: when the node's oplog history was truncated at a
+                checkpoint — same contract as :meth:`PrimaryNode.restart`;
+                the rejoin then needs the checkpoint snapshot.
+        """
+        if node.oplog.truncated_before > 0:
+            raise ValueError(
+                "oplog history was truncated at a checkpoint; rejoin "
+                "needs the checkpoint snapshot"
+            )
+        secondary = cls(
+            clock=node.clock,
+            costs=node.costs,
+            config=node.config,
+            dedup_enabled=node.dedup_enabled,
+            block_compressor=node._block_compressor,
+            page_size=node._page_size,
+            physical_storage=node._physical_storage,
+            registry=node.registry,
+            tracer=node.tracer,
+            node_name=node.node_name,
+        )
+        secondary.oplog = node.oplog
+        secondary.crashes = node.crashes
+        secondary.background_cpu_seconds = node.background_cpu_seconds
+        secondary._adopt_disk(node.db)
+        return secondary
+
+    @property
+    def is_available(self) -> bool:
+        """False while the simulated process is down."""
+        return not self._crashed
+
+    def _adopt_disk(self, old_db: Database) -> None:
+        """Replay the local oplog into a fresh store on an existing disk.
+
+        Shared by the rejoin path and the divergence rollback: the log
+        (already truncated to the agreed prefix) is the ground truth, so
+        replaying it yields exactly the retained client-visible state.
+        Fault-plan hooks carry over to the rebuilt store.
+        """
+        from repro.db.recovery import replay_oplog
+
+        fault_injector = old_db.fault_injector
+        disk = old_db.disk
+        db = self._build_database(disk)
+        db.fault_injector = fault_injector
+        if fault_injector is not None and hasattr(
+            fault_injector, "_disk_interceptor"
+        ):
+            disk.interceptor = fault_injector._disk_interceptor(db)
+        replay_oplog(self.oplog.entries(), into=db)
+        self.db = db
+
+    def rollback_to(self, seq: int) -> list[OplogEntry]:
+        """Divergence rollback: drop local history from ``seq`` onward.
+
+        Truncates the local oplog's suffix and rebuilds the store by
+        replaying the retained prefix. Returns the dropped entries (the
+        writes this replica is giving up); empty when already aligned.
+        """
+        dropped = self.oplog.truncate_from(seq)
+        if not dropped:
+            return dropped
+        if self.dedup_enabled:
+            self.reencoder = SecondaryReencoder(self.config, self.costs)
+        self._adopt_disk(self.db)
+        return dropped
 
     def _build_database(self, disk: SimDisk | None = None) -> Database:
         """Wire a fresh record store (initial boot and post-crash restart)."""

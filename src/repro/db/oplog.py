@@ -9,6 +9,7 @@ the oplog is simultaneously where the network savings happen.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from zlib import crc32
 
 #: Fixed per-entry header charge: seq + timestamp + op + ids.
 ENTRY_HEADER_BYTES = 32
@@ -42,6 +43,27 @@ class OplogEntry:
         """Bytes this entry contributes to a replication batch."""
         return ENTRY_HEADER_BYTES + len(self.payload)
 
+    @property
+    def checksum(self) -> int:
+        """CRC over the entry's operation content (not its position).
+
+        Two logs agree at a sequence number exactly when the entries'
+        checksums match — the divergence test failover's rollback path
+        runs when an old primary rejoins. ``seq`` and ``timestamp`` are
+        deliberately excluded: position is what is being compared, and a
+        replica records the primary's timestamp verbatim anyway.
+        """
+        header = "|".join(
+            (
+                self.op,
+                self.database,
+                self.record_id,
+                self.base_id or "",
+                "1" if self.encoded else "0",
+            )
+        ).encode("utf-8")
+        return crc32(self.payload, crc32(header))
+
 
 class Oplog:
     """Append-only operation log with a synchronization cursor."""
@@ -52,6 +74,13 @@ class Oplog:
         self._truncated_before = 0  # absolute seq of the oldest retained
         self._builtin_cursor_used = False
         self.total_bytes = 0
+        #: Monotonic count of entries ever appended. Unlike ``next_seq``
+        #: it never moves backwards: a failover rollback truncates the
+        #: log's suffix (and re-appending assigns the same seqs again),
+        #: but this counter keeps the historical total — the metrics
+        #: identity ``rollback_entries_total <= oplog_appends_total``
+        #: reconciles against it.
+        self.appends = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -81,6 +110,7 @@ class Oplog:
         )
         self._entries.append(entry)
         self.total_bytes += entry.wire_size
+        self.appends += 1
         return entry
 
     @property
@@ -124,6 +154,13 @@ class Oplog:
     def entries(self) -> list[OplogEntry]:
         """All retained entries (oldest first); a copy safe to iterate."""
         return list(self._entries)
+
+    def entry_at(self, seq: int) -> OplogEntry | None:
+        """The retained entry with the given absolute seq (None if absent)."""
+        index = seq - self._truncated_before
+        if index < 0 or index >= len(self._entries):
+            return None
+        return self._entries[index]
 
     @property
     def truncated_before(self) -> int:
@@ -171,3 +208,31 @@ class Oplog:
         self._truncated_before = seq
         self.total_bytes -= sum(entry.wire_size for entry in dropped)
         return drop
+
+    def truncate_from(self, seq: int) -> list[OplogEntry]:
+        """Drop the suffix with ``seq`` at or above the given position.
+
+        The failover rollback: when an old primary rejoins, entries it
+        accepted but never replicated (everything past the divergence
+        point with the new primary's log) are removed before the node
+        rebuilds itself as a secondary. Returns the dropped entries,
+        newest history the node is giving up, for rollback accounting.
+
+        Raises:
+            ValueError: when ``seq`` falls inside the truncated prefix —
+                rolling back into checkpointed history is impossible
+                from the log alone.
+        """
+        if seq < self._truncated_before:
+            raise ValueError(
+                f"cannot roll back to {seq}: history before "
+                f"{self._truncated_before} was truncated at a checkpoint"
+            )
+        keep = seq - self._truncated_before
+        if keep >= len(self._entries):
+            return []
+        dropped = self._entries[keep:]
+        self._entries = self._entries[:keep]
+        self._synced_upto = min(self._synced_upto, keep)
+        self.total_bytes -= sum(entry.wire_size for entry in dropped)
+        return dropped

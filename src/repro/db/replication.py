@@ -76,6 +76,17 @@ class ReplicationLink:
         """Absolute oplog seq this link has shipped up to (exclusive)."""
         return self._cursor
 
+    def seek(self, cursor: int) -> None:
+        """Position the cursor explicitly (failover resync / re-link).
+
+        A promoted primary rebuilds its links with each one's cursor at
+        the divergence point agreed with that secondary, so catch-up
+        reuses the ordinary at-least-once shipping path from there.
+        """
+        if cursor < 0:
+            raise ValueError(f"cursor must be >= 0, got {cursor}")
+        self._cursor = cursor
+
     def maybe_sync(self) -> bool:
         """Ship a batch if enough unsynchronized oplog has accumulated."""
         if self.primary.oplog.bytes_since(self._cursor) < self.batch_bytes:
@@ -90,8 +101,12 @@ class ReplicationLink:
         drops the message (fault injection). The cursor advances only
         after confirmed delivery, so a batch that exhausts its attempts
         simply stays pending and is resent wholesale by the next sync —
-        at-least-once shipping, never data loss.
+        at-least-once shipping, never data loss. A crashed secondary is
+        never shipped to: the batch stays pending (cursor untouched)
+        until the node restarts or failover replaces the link.
         """
+        if not getattr(self.secondary, "is_available", True):
+            return 0
         batch = self.primary.oplog.entries_since(self._cursor)
         if not batch:
             return 0

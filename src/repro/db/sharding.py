@@ -289,7 +289,7 @@ class ShardedCluster:
                 "op:insert_batch", shard=index, records=len(group)
             )
             try:
-                latency = shard.primary.insert_batch(
+                latency = shard.primary_insert_batch(
                     [(op.database, op.record_id, op.content) for op in group]
                 )
                 shard.inserts += len(group)
@@ -305,6 +305,7 @@ class ShardedCluster:
                 link.maybe_sync()
             if shard.fault_plan is not None:
                 shard.fault_plan.after_operation(shard)
+            shard.failover.tick()
             if shard.sampler is not None:
                 for _ in groups[index]:
                     shard.sampler.note_op()
@@ -318,6 +319,7 @@ class ShardedCluster:
             self.clock.advance(min(step, remaining))
             remaining -= step
             for shard in self.shards:
+                shard.failover.tick()
                 shard.primary.on_idle()
         return 0.0
 

@@ -351,6 +351,9 @@ def check_reconciliation(document: dict) -> list[str]:
     * per scope: ``records_unique == sum(drops)`` (every non-deduped
       record left the pipeline through exactly one drop reason);
     * network: ``bytes_delivered <= bytes_sent``;
+    * failover: ``rollback_entries_total <= oplog_appends_total`` — a
+      divergence rollback can only discard entries some node appended
+      (the appends counter is monotonic across truncations);
     * source cache: exported hits/misses match the engine-scope legacy
       counters by construction (same instrument), nothing to cross-check.
 
@@ -413,4 +416,19 @@ def check_reconciliation(document: dict) -> list[str]:
                 f"network {key}: bytes_delivered={nbytes} > "
                 f"bytes_sent={limit}"
             )
+
+    # Failover: a rollback can only drop entries some node once appended.
+    # ``oplog_appends_total`` is monotonic (truncation never decrements
+    # it), so the rolled-back total is bounded by the appends across all
+    # nodes of the same (per-shard) replica set.
+    rolled_back = _scalar_groups(metrics, "rollback_entries_total", ())
+    appends = _scalar_groups(metrics, "oplog_appends_total", ())
+    if appends:  # both families fold to per-shard keys
+        for key, dropped in rolled_back.items():
+            limit = appends.get(key, 0.0)
+            if dropped > limit:
+                problems.append(
+                    f"failover {key}: rollback_entries={dropped} > "
+                    f"oplog_appends={limit}"
+                )
     return problems

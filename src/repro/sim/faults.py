@@ -107,11 +107,15 @@ class CrashNode:
     """Crash a node once its oplog reaches ``after_appends`` entries.
 
     Attributes:
-        node: "primary" or "secondary".
+        node: "primary", "secondary" (the first replica), or
+            "secondary:N" to address the N-th replica of a multi-replica
+            set (0-based). A rule addressing a replica index the cluster
+            does not have stays pending and never fires.
         after_appends: absolute oplog sequence that triggers the crash.
         restart: when True (default) the node immediately restarts from
-            its oplog (crash-recover); when False it stays down until the
-            test restarts it explicitly.
+            its oplog (crash-recover); when False it stays down until
+            failover promotes a replacement or the test restarts it
+            explicitly.
     """
 
     node: str = "primary"
@@ -120,7 +124,12 @@ class CrashNode:
 
     def __post_init__(self) -> None:
         if self.node not in ("primary", "secondary"):
-            raise ValueError(f"node must be primary|secondary, got {self.node!r}")
+            head, sep, tail = self.node.partition(":")
+            if head != "secondary" or not sep or not tail.isdigit():
+                raise ValueError(
+                    "node must be primary|secondary|secondary:N, "
+                    f"got {self.node!r}"
+                )
         if self.after_appends < 1:
             raise ValueError(
                 f"after_appends must be >= 1, got {self.after_appends}"
@@ -283,6 +292,24 @@ class FaultPlan:
             return corrupted_bytes
         return payload
 
+    @staticmethod
+    def _crash_target(cluster, spec: str):
+        """Resolve a :class:`CrashNode` address against a cluster.
+
+        ``"primary"`` is whichever node currently holds the role (after a
+        failover that is the promoted node); ``"secondary"`` /
+        ``"secondary:N"`` index into the current replica list, which
+        shrinks while a promoted node's old peer awaits rejoin — an
+        out-of-range index resolves to None and the rule stays pending.
+        """
+        if spec == "primary":
+            return cluster.primary
+        _, _, tail = spec.partition(":")
+        index = int(tail) if tail else 0
+        if index >= len(cluster.secondaries):
+            return None
+        return cluster.secondaries[index]
+
     def after_operation(self, cluster) -> None:
         """Cluster hook: fire pending crash rules after a client op."""
         if not self.active:
@@ -292,9 +319,9 @@ class FaultPlan:
                 continue
             if rule_index in self._crashed_rules:
                 continue
-            node = (
-                cluster.primary if rule.node == "primary" else cluster.secondary
-            )
+            node = self._crash_target(cluster, rule.node)
+            if node is None or not getattr(node, "is_available", True):
+                continue
             if node.oplog.next_seq < rule.after_appends:
                 continue
             self._crashed_rules.add(rule_index)

@@ -30,6 +30,15 @@ class TestRuleValidation:
         with pytest.raises(ValueError):
             CrashNode(node="tertiary")
 
+    def test_crash_node_accepts_indexed_replica_addresses(self):
+        assert CrashNode(node="secondary:0").node == "secondary:0"
+        assert CrashNode(node="secondary:12").node == "secondary:12"
+
+    def test_crash_node_rejects_malformed_replica_addresses(self):
+        for bad in ("secondary:", "secondary:x", "secondary:-1", "primary:0"):
+            with pytest.raises(ValueError):
+                CrashNode(node=bad)
+
     def test_crash_node_rejects_nonpositive_trigger(self):
         with pytest.raises(ValueError):
             CrashNode(after_appends=0)
@@ -66,6 +75,7 @@ class TestDeterminism:
                 TransientIOErrors(probability=0.1, kinds=("read",), node="primary"),
                 CorruptPageReads(probability=0.2, sticky=True),
                 CrashNode(node="secondary", after_appends=9, restart=False),
+                CrashNode(node="secondary:1", after_appends=17, restart=False),
             ],
         )
         rebuilt = eval(  # noqa: S307 - round-tripping our own repr
@@ -229,3 +239,31 @@ class TestCrashHook:
             )
         assert cluster.primary.crashes == 1
         assert any(event.startswith("crash") for event in plan.events)
+
+    def test_indexed_address_crashes_that_replica_only(self):
+        from repro.workloads.base import Operation
+
+        cluster = Cluster(
+            config=ClusterConfig(num_secondaries=3, oplog_batch_bytes=1)
+        )
+        plan = FaultPlan(
+            seed=6, rules=[CrashNode(node="secondary:1", after_appends=2)]
+        )
+        plan.install(cluster)
+        for index in range(6):
+            cluster.execute(
+                Operation("insert", "db", f"r{index}", b"payload %d" % index)
+            )
+        assert [node.crashes for node in cluster.secondaries] == [0, 1, 0]
+
+    def test_out_of_range_address_stays_pending(self):
+        from repro.workloads.base import Operation
+
+        cluster = Cluster(config=ClusterConfig(oplog_batch_bytes=1))
+        plan = FaultPlan(
+            seed=6, rules=[CrashNode(node="secondary:5", after_appends=1)]
+        )
+        plan.install(cluster)
+        cluster.execute(Operation("insert", "db", "r0", b"payload"))
+        assert cluster.secondaries[0].crashes == 0
+        assert not plan.events
