@@ -2,10 +2,13 @@
 
 Not a paper figure — a performance regression net over the kernels every
 experiment runs through: chunking, sketching, hashing, indexing, delta
-encode/re-encode/decode, and block compression.
+encode/re-encode/decode, and block compression — plus the admission
+inline-vs-hybrid sweep pinned against a committed baseline.
 """
 
+import json
 import random
+from pathlib import Path
 
 import pytest
 
@@ -115,3 +118,65 @@ def test_snappy_decompress_32k(benchmark, corpus):
     compressed = snappy_compress(data)
     result = benchmark(snappy_decompress, compressed)
     assert result == data
+
+
+ADMISSION_BASELINE = (
+    Path(__file__).parent / "baselines" / "admission_microbench.json"
+)
+
+
+def test_admission_inline_vs_hybrid(benchmark):
+    """Hybrid admission must cut inline CPU at >= 95 % of the ratio.
+
+    Runs the deterministic two-mode sweep once under benchmark timing
+    and pins the simulated outcomes against the committed baseline.
+    Regenerate the baseline after an intended behaviour change with::
+
+        PYTHONPATH=src python -c "
+        from repro.bench.admission_exp import admission_experiment
+        r = admission_experiment(mix='wikipedia,oltp',
+                                 target_bytes=200_000, seed=7,
+                                 modes=('inline', 'hybrid'))
+        print(r.render())"
+    """
+    from repro.bench.admission_exp import admission_experiment
+
+    result = benchmark.pedantic(
+        admission_experiment,
+        kwargs=dict(
+            mix="wikipedia,oltp",
+            target_bytes=200_000,
+            seed=7,
+            modes=("inline", "hybrid"),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = {row.mode: row for row in result.rows}
+    inline, hybrid = rows["inline"], rows["hybrid"]
+    assert inline.invariants_ok and hybrid.invariants_ok
+
+    # The acceptance claim: hybrid spends less simulated CPU inline than
+    # all-inline while keeping (at least) 95 % of its dedup ratio —
+    # here the drained queue restores it exactly.
+    assert hybrid.inline_cpu_s < inline.inline_cpu_s
+    assert hybrid.ratio_retained_pct >= 95.0
+    assert hybrid.defer_decisions > 0
+    assert inline.defer_decisions == 0
+
+    # The sweep is a seeded simulation: integer outcomes must match the
+    # committed baseline exactly, simulated CPU within float tolerance.
+    baseline = json.loads(ADMISSION_BASELINE.read_text(encoding="utf-8"))
+    for mode, row in rows.items():
+        expected = baseline[mode]
+        assert row.operations == expected["operations"], mode
+        assert row.defer_decisions == expected["defer_decisions"], mode
+        assert row.storage_ratio == pytest.approx(
+            expected["storage_ratio"], rel=1e-3
+        ), mode
+        assert row.inline_cpu_s == pytest.approx(
+            expected["inline_cpu_s"], rel=1e-3
+        ), mode
+        assert row.outofline_cpu_s == pytest.approx(
+            expected["outofline_cpu_s"], rel=1e-3, abs=1e-9
+        ), mode

@@ -21,6 +21,7 @@ Quick start (the supported entry point is :mod:`repro.api`)::
 from repro.api import ClusterSpec, DedupClient, open_cluster
 from repro.baselines import TradDedupEngine
 from repro.core import (
+    AdmissionController,
     DedupConfig,
     DedupEngine,
     DedupGovernor,
@@ -49,6 +50,7 @@ __all__ = [
     "ClusterSpec",
     "DedupClient",
     "open_cluster",
+    "AdmissionController",
     "DedupConfig",
     "DedupEngine",
     "DedupGovernor",

@@ -185,6 +185,57 @@ class DedupClient:
         """Checkpoint the oplog(s) under ``path``; returns bytes truncated."""
         return self._cluster.checkpoint(path)
 
+    # -- admission ------------------------------------------------------------
+
+    def _primaries(self):
+        if isinstance(self._cluster, ShardedCluster):
+            return [shard.primary for shard in self._cluster.shards]
+        return [self._cluster.primary]
+
+    def drain_deferred(self, max_records: int | None = None) -> int:
+        """Force a synchronous out-of-line dedup pass on every primary.
+
+        Deferred records normally drain during simulated idleness (and
+        unconditionally at :meth:`finalize`); this forces the pass now,
+        ignoring the idleness signal. Returns the number of records
+        drained across all shards.
+        """
+        drained = 0
+        for primary in self._primaries():
+            drained += primary.drain_deferred_dedup(
+                max_records=max_records, force=True
+            )
+        return drained
+
+    def admission_report(self) -> dict:
+        """Per-shard admission snapshot: mode, decision counts by
+        stream, deferred-queue depth, bypassed streams, and the
+        inline/out-of-line CPU split."""
+        shards = {}
+        for index, primary in enumerate(self._primaries()):
+            engine = primary.engine
+            if engine is None:
+                shards[index] = {"mode": None}
+                continue
+            admission = engine.admission
+            decisions: dict[str, dict[str, int]] = {}
+            for (decision, stream), count in sorted(
+                admission.decision_counts.items()
+            ):
+                decisions.setdefault(stream, {})[decision] = count
+            shards[index] = {
+                "mode": admission.mode,
+                "decisions": decisions,
+                "deferred_queue_depth": admission.pending_total,
+                "deferred_discarded": admission.deferred_discarded_total,
+                "outofline_records": admission.outofline_records_total,
+                "outofline_bytes": admission.outofline_bytes_total,
+                "bypassed_streams": sorted(admission.disabled_databases),
+                "inline_cpu_seconds": engine.inline_cpu_seconds,
+                "outofline_cpu_seconds": engine.outofline_cpu_seconds,
+            }
+        return {"shards": shards}
+
     # -- health ---------------------------------------------------------------
 
     def stats(self) -> dict:

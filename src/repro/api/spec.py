@@ -11,7 +11,7 @@ single consolidated, frozen, keyword-only description of a deployment;
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.config import DedupConfig
 from repro.db.cluster import ClusterConfig
@@ -38,6 +38,17 @@ class ClusterSpec:
     Attributes:
         dedup: dbDedup engine parameters (defaults to :class:`DedupConfig`).
         dedup_enabled: False for the no-dedup baselines.
+        admission_mode: convenience override of
+            ``dedup.admission_mode`` — ``"inline"``, ``"hybrid"`` or
+            ``"governor"``; None keeps the dedup config's value.
+        admission_inline_threshold: override of
+            ``dedup.admission_inline_threshold`` (hybrid yield score at
+            or above which a stream dedups inline).
+        admission_bypass_threshold: override of
+            ``dedup.admission_bypass_threshold`` (``<= 0`` disables
+            permanent bypass in hybrid mode).
+        admission_queue_records: override of
+            ``dedup.admission_queue_records`` (deferred-queue bound).
         block_compression: page compressor: 'none', 'snappy', 'zlib'.
         batch_compression: oplog-batch compressor before transfer.
         use_writeback_cache: False disables the encode write-back cache.
@@ -68,6 +79,10 @@ class ClusterSpec:
 
     dedup: DedupConfig = field(default_factory=DedupConfig)
     dedup_enabled: bool = True
+    admission_mode: str | None = None
+    admission_inline_threshold: float | None = None
+    admission_bypass_threshold: float | None = None
+    admission_queue_records: int | None = None
     block_compression: str = "none"
     batch_compression: str = "none"
     use_writeback_cache: bool = True
@@ -103,8 +118,19 @@ class ClusterSpec:
 
     def to_cluster_config(self) -> ClusterConfig:
         """The per-shard :class:`ClusterConfig` this spec describes."""
+        overrides = {
+            name: value
+            for name, value in (
+                ("admission_mode", self.admission_mode),
+                ("admission_inline_threshold", self.admission_inline_threshold),
+                ("admission_bypass_threshold", self.admission_bypass_threshold),
+                ("admission_queue_records", self.admission_queue_records),
+            )
+            if value is not None
+        }
+        dedup = replace(self.dedup, **overrides) if overrides else self.dedup
         return ClusterConfig(
-            dedup=self.dedup,
+            dedup=dedup,
             dedup_enabled=self.dedup_enabled,
             block_compression=self.block_compression,
             batch_compression=self.batch_compression,

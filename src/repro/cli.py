@@ -16,6 +16,7 @@ import sys
 from repro.api import ClusterSpec, DedupClient, open_cluster
 from repro.bench import experiments
 from repro.bench import ablations
+from repro.bench.admission_exp import admission_experiment
 from repro.bench.failover_exp import failover_experiment
 from repro.bench.pipeline_profile import pipeline_profile
 from repro.bench.sharding_exp import shard_scaling
@@ -64,6 +65,9 @@ EXPERIMENTS = {
         args.workload, target_bytes=args.target_bytes,
         seed=args.seed, crash_fraction=args.crash_fraction,
     ),
+    "admission": lambda args: admission_experiment(
+        mix=args.mix, target_bytes=args.target_bytes, seed=args.seed,
+    ),
 }
 
 
@@ -109,6 +113,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="workload + fault seed for the failover scenarios")
     exp.add_argument("--crash-fraction", type=float, default=0.5,
                      help="failover: kill the node this far into the trace")
+    exp.add_argument("--mix", default="wikipedia,oltp", metavar="W,W,...",
+                     help="admission: comma-separated workload mix whose "
+                          "streams the controller classifies independently")
     _add_obs_arguments(exp)
 
     run = sub.add_parser("run", help="run a workload through a cluster")

@@ -29,10 +29,32 @@ class DedupConfig:
         min_savings_ratio: a forward delta must be at most this fraction of
             the raw record, or the record is stored unique — a delta that
             saves almost nothing is not worth a chain edge.
-        governor_threshold: compression ratio below which the governor
-            disables dedup for a database (§3.4.1: 1.1).
-        governor_window: inserts per governor evaluation (§3.4.1: 100 000;
-            simulations use smaller corpora, so this is configurable).
+        governor_threshold: compression ratio below which governor-mode
+            admission disables dedup for a database (§3.4.1: 1.1).
+        governor_window: inserts per admission evaluation window
+            (§3.4.1: 100 000; simulations use smaller corpora, so this
+            is configurable).
+        admission_mode: per-stream admission policy — ``"governor"``
+            (paper-faithful one-way kill switch, the default),
+            ``"inline"`` (always dedup inline), or ``"hybrid"``
+            (three-way inline / defer / bypass decisions driven by the
+            online yield estimator).
+        admission_inline_threshold: hybrid mode — yield score (window
+            ratio + weighted locality) at or above which a stream
+            dedups inline; below it, records defer to the out-of-line
+            queue.
+        admission_bypass_threshold: hybrid mode — yield score below
+            which a window counts toward permanent bypass; ``<= 0``
+            disables bypass (low-yield streams defer forever instead).
+        admission_bypass_patience: consecutive low-yield windows before
+            a hybrid-mode stream is permanently bypassed.
+        admission_locality_weight: weight of the duplicate-locality
+            fraction in the yield score.
+        admission_locality_depth: recent sketches per stream retained
+            for the locality signal.
+        admission_queue_records: global bound on queued deferred
+            records; at the bound the oldest entries are force-drained
+            through the pipeline before new ones are queued.
         size_filter_percentile: percentile of record size used as the
             dedup cut-off (§3.4.2: the 40 %-tile).
         size_filter_interval: inserts between cut-off refreshes (1000).
@@ -60,6 +82,13 @@ class DedupConfig:
     min_savings_ratio: float = 0.9
     governor_threshold: float = 1.1
     governor_window: int = 100_000
+    admission_mode: str = "governor"
+    admission_inline_threshold: float = 1.2
+    admission_bypass_threshold: float = 0.0
+    admission_bypass_patience: int = 2
+    admission_locality_weight: float = 0.5
+    admission_locality_depth: int = 64
+    admission_queue_records: int = 4096
     size_filter_percentile: float = 40.0
     size_filter_interval: int = 1000
     size_filter_enabled: bool = True
@@ -87,3 +116,18 @@ class DedupConfig:
                 f"size_filter_percentile must be in [0, 100), got "
                 f"{self.size_filter_percentile}"
             )
+        # Admission parameters share the controller's validation so a bad
+        # spec fails at construction, not at first insert.
+        from repro.core.admission import AdmissionController
+
+        AdmissionController(
+            mode=self.admission_mode,
+            threshold=self.governor_threshold,
+            window=self.governor_window,
+            inline_yield_threshold=self.admission_inline_threshold,
+            bypass_yield_threshold=self.admission_bypass_threshold,
+            bypass_patience=self.admission_bypass_patience,
+            locality_weight=self.admission_locality_weight,
+            locality_depth=self.admission_locality_depth,
+            max_deferred_records=self.admission_queue_records,
+        )

@@ -20,13 +20,16 @@ vectorized sketch extraction across records.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Protocol, Sequence
+from dataclasses import dataclass, replace
+from typing import Iterable, Protocol, Sequence
 
 from repro.cache.writeback import WriteBackEntry
 from repro.chunking.cdc import ContentDefinedChunker
+from repro.core.admission import (
+    DECISION_DEFER,
+    AdmissionController,
+)
 from repro.core.config import DedupConfig
-from repro.core.governor import DedupGovernor
 from repro.core.pipeline import (
     EncodeContext,
     PipelineObserver,
@@ -78,6 +81,15 @@ class EncodeResult:
         overlapped: the source was not its chain's tail (Fig. 5).
         source_was_cached: source content came from the source record cache.
         cpu_seconds: simulated CPU time the encode consumed.
+        deferred: the record was parked for an out-of-line dedup pass
+            instead of running the pipeline — store raw, oplog raw; its
+            statistics are counted once, when it is later drained.
+        drained: results of deferred records the engine pushed through
+            the pipeline as part of producing *this* result (same-stream
+            order preservation, or queue-bound backpressure). The caller
+            must process their write-backs and CPU like any other encode;
+            they produce no oplog entries (their raw payload already
+            shipped at insert time).
     """
 
     record_id: str
@@ -92,6 +104,8 @@ class EncodeResult:
     overlapped: bool = False
     source_was_cached: bool = False
     cpu_seconds: float = 0.0
+    deferred: bool = False
+    drained: tuple["EncodeResult", ...] = ()
 
 
 class DedupEngine:
@@ -124,10 +138,21 @@ class DedupEngine:
         self.selector = SourceSelector(
             self.planner.source_cache, self.config.cache_reward
         )
-        self.governor = DedupGovernor(
+        self.admission = AdmissionController(
+            mode=self.config.admission_mode,
             threshold=self.config.governor_threshold,
             window=self.config.governor_window,
+            inline_yield_threshold=self.config.admission_inline_threshold,
+            bypass_yield_threshold=self.config.admission_bypass_threshold,
+            bypass_patience=self.config.admission_bypass_patience,
+            locality_weight=self.config.admission_locality_weight,
+            locality_depth=self.config.admission_locality_depth,
+            max_deferred_records=self.config.admission_queue_records,
         )
+        #: CPU split the admission experiment reports: pipeline work done
+        #: synchronously with client inserts vs. during deferred drains.
+        self.inline_cpu_seconds = 0.0
+        self.outofline_cpu_seconds = 0.0
         self.size_filter = AdaptiveSizeFilter(
             cut_percentile=self.config.size_filter_percentile,
             refresh_interval=self.config.size_filter_interval,
@@ -162,6 +187,13 @@ class DedupEngine:
     def source_cache(self):
         """The planner's source record cache (shared with the selector)."""
         return self.planner.source_cache
+
+    @property
+    def governor(self) -> AdmissionController:
+        """Legacy name for the admission controller (governor-compatible
+        surface: ``is_enabled`` / ``observe`` / ``window_ratio`` /
+        ``disabled_databases``)."""
+        return self.admission
 
     @property
     def chains(self):
@@ -246,13 +278,62 @@ class DedupEngine:
         })
         reg.gauge(
             "governor_dedup_enabled",
-            "1 while the governor keeps dedup on for the database", label,
+            "1 while admission control keeps dedup on for the database",
+            label,
         ).collect(lambda: {
             (database,): 0.0
-            if database in self.governor.disabled_databases
+            if database in self.admission.disabled_databases
             else 1.0
             for database in self.database_stats
         })
+        admission = self.admission
+
+        def owned(family):
+            # The admission families are fed exclusively by the current
+            # engine. An engine rebuild (restart, promotion) must reset
+            # them as one coherent group — the reconciliation identity
+            # over defer decisions / drains / queue depth only holds
+            # within a single engine generation, and the dead engine's
+            # sparse gauge rows would otherwise leak through shadowing.
+            family.clear_collectors()
+            return family
+
+        owned(reg.counter(
+            "admission_decisions_total",
+            "Admission decisions per stream (inline / defer / bypass)",
+            ("decision", "stream"),
+        )).collect(lambda: {
+            key: float(count)
+            for key, count in admission.decision_counts.items()
+        })
+        owned(reg.gauge(
+            "deferred_queue_depth",
+            "Records awaiting an out-of-line dedup pass", ("stream",),
+        )).collect(lambda: {
+            (database,): float(admission.pending(database))
+            for database in admission.databases_with_pending()
+        })
+        owned(reg.counter(
+            "outofline_dedup_records_total",
+            "Deferred records drained through the dedup pipeline",
+        )).collect(lambda: {(): float(admission.outofline_records_total)})
+        owned(reg.counter(
+            "outofline_dedup_bytes_total",
+            "Raw bytes of deferred records drained through the pipeline",
+        )).collect(lambda: {(): float(admission.outofline_bytes_total)})
+        owned(reg.counter(
+            "deferred_discarded_total",
+            "Deferred records discarded (stream bypassed, or superseded "
+            "by a client update/delete)",
+        )).collect(lambda: {(): float(admission.deferred_discarded_total)})
+        owned(reg.counter(
+            "admission_inline_cpu_seconds_total",
+            "Encode CPU spent synchronously with client inserts",
+        )).collect(lambda: {(): self.inline_cpu_seconds})
+        owned(reg.counter(
+            "admission_outofline_cpu_seconds_total",
+            "Encode CPU spent draining deferred records",
+        )).collect(lambda: {(): self.outofline_cpu_seconds})
         reg.gauge(
             "size_filter_threshold_bytes",
             "Adaptive size filter cut-off per database", label,
@@ -371,16 +452,27 @@ class DedupEngine:
         content: bytes,
         provider: RecordProvider,
     ) -> EncodeResult:
-        """Run the dedup workflow for one inserted record."""
-        ctx = EncodeContext(
-            database=database,
-            record_id=record_id,
-            content=content,
-            provider=provider,
-            meter=CpuMeter(self.costs),
-        )
-        self.pipeline.run(ctx)
-        return ctx.result
+        """Run the admission decision and (unless deferred) the pipeline.
+
+        A ``defer`` decision parks the record on the admission queue and
+        returns a raw, :attr:`EncodeResult.deferred` result without
+        touching the pipeline or its statistics — the record is counted
+        exactly once, when a later drain pushes it through. An inline
+        decision first drains any queued records *of the same stream*, so
+        each stream's records enter the pipeline in insert order (the
+        property that makes a hybrid run byte-identical to an all-inline
+        run after the queue drains).
+        """
+        admission = self.admission
+        decision = admission.decide(database)
+        admission.note_decision(database, decision)
+        if decision == DECISION_DEFER:
+            return self._defer_record(database, record_id, content, provider)
+        drained = self._drain_stream(database, provider)
+        result = self._encode_inline(database, record_id, content, provider)
+        if drained:
+            result = replace(result, drained=tuple(drained))
+        return result
 
     def encode_batch(
         self,
@@ -397,8 +489,17 @@ class DedupEngine:
         Semantically identical to calling :meth:`encode` once per item in
         order — same :class:`EncodeResult` sequence, same statistics —
         but the sketch stage runs vectorized over the whole batch, which
-        amortizes the numpy chunking overhead for small records.
+        amortizes the numpy chunking overhead for small records. In
+        hybrid admission mode (or with a non-empty deferred queue) the
+        batch falls back to the per-record path: deferral decisions and
+        same-stream drains interleave with the encodes, so the batched
+        sketch pass cannot be hoisted without reordering stateful work.
         """
+        if self.admission.supports_defer or self.admission.pending_total:
+            return [
+                self.encode(database, record_id, content, provider)
+                for database, record_id, content in items
+            ]
         contexts = [
             EncodeContext(
                 database=database,
@@ -409,8 +510,143 @@ class DedupEngine:
             )
             for database, record_id, content in items
         ]
-        self.pipeline.run_batch(contexts)
-        return [ctx.result for ctx in contexts]
+        for stage in self.pipeline.stages:
+            stage.prepare_batch(contexts)
+        results: list[EncodeResult] = []
+        for ctx in contexts:
+            self.admission.note_decision(
+                ctx.database, self.admission.decide(ctx.database)
+            )
+            self.pipeline.run(ctx)
+            self.inline_cpu_seconds += ctx.result.cpu_seconds
+            results.append(ctx.result)
+        return results
+
+    def _run_pipeline(
+        self,
+        database: str,
+        record_id: str,
+        content: bytes,
+        provider: RecordProvider,
+    ) -> EncodeResult:
+        ctx = EncodeContext(
+            database=database,
+            record_id=record_id,
+            content=content,
+            provider=provider,
+            meter=CpuMeter(self.costs),
+        )
+        self.pipeline.run(ctx)
+        return ctx.result
+
+    def _encode_inline(
+        self,
+        database: str,
+        record_id: str,
+        content: bytes,
+        provider: RecordProvider,
+    ) -> EncodeResult:
+        result = self._run_pipeline(database, record_id, content, provider)
+        self.inline_cpu_seconds += result.cpu_seconds
+        return result
+
+    def _encode_outofline(
+        self,
+        database: str,
+        record_id: str,
+        content: bytes,
+        provider: RecordProvider,
+    ) -> EncodeResult:
+        result = self._run_pipeline(database, record_id, content, provider)
+        self.outofline_cpu_seconds += result.cpu_seconds
+        self.admission.note_outofline(database, result.raw_size)
+        return result
+
+    def _defer_record(
+        self,
+        database: str,
+        record_id: str,
+        content: bytes,
+        provider: RecordProvider,
+    ) -> EncodeResult:
+        """Park one record on the deferred queue; store and oplog it raw.
+
+        Backpressure (§3.3.2's queue-length trigger, inverted): when the
+        queue is at its bound, the oldest entries are forced through the
+        pipeline *now* — deferred work is never dropped, because a
+        dropped record would silently diverge from the all-inline run.
+        """
+        admission = self.admission
+        drained: list[EncodeResult] = []
+        while admission.pending_total >= admission.max_deferred_records:
+            oldest = admission.pop_oldest()
+            if oldest is None:
+                break
+            drained.append(self._encode_outofline(*oldest, provider))
+        admission.defer(database, record_id, content)
+        raw_size = len(content)
+        return EncodeResult(
+            record_id=record_id,
+            database=database,
+            raw_size=raw_size,
+            deduped=False,
+            oplog_size=raw_size,
+            ideal_stored_delta=raw_size,
+            cpu_seconds=0.0,
+            deferred=True,
+            drained=tuple(drained),
+        )
+
+    def _drain_stream(
+        self, database: str, provider: RecordProvider
+    ) -> list[EncodeResult]:
+        """Push every queued record of one stream through the pipeline.
+
+        Runs before an inline encode of the same stream so per-stream
+        pipeline order always matches insert order. Entries of a stream
+        that got bypassed mid-drain are discarded by the index teardown
+        in :meth:`observe_admission`, which empties the queue for us.
+        """
+        results: list[EncodeResult] = []
+        while True:
+            entry = self.admission.pop_deferred(database)
+            if entry is None:
+                return results
+            record_id, content = entry
+            results.append(
+                self._encode_outofline(database, record_id, content, provider)
+            )
+
+    def drain_deferred(
+        self,
+        provider: RecordProvider,
+        max_records: int | None = None,
+    ) -> list[EncodeResult]:
+        """Drain queued deferred records (globally oldest first).
+
+        Called from the idle hooks (``PrimaryNode.on_idle`` /
+        ``Cluster._idle``) and from ``Cluster.finalize``. Global-oldest
+        order preserves each stream's FIFO order, which is all the
+        equivalence property needs. Returns the drained results; the
+        caller handles their write-backs and CPU accounting.
+        """
+        results: list[EncodeResult] = []
+        while max_records is None or len(results) < max_records:
+            oldest = self.admission.pop_oldest()
+            if oldest is None:
+                break
+            results.append(self._encode_outofline(*oldest, provider))
+        return results
+
+    def pending_deferred(self, database: str | None = None) -> int:
+        """Deferred records awaiting an out-of-line pass."""
+        if database is None:
+            return self.admission.pending_total
+        return self.admission.pending(database)
+
+    def invalidate_deferred(self, record_id: str) -> bool:
+        """Drop a queued record superseded by a client update/delete."""
+        return self.admission.invalidate(record_id)
 
     # -- pipeline support (called by the stages) ---------------------------------
 
@@ -436,16 +672,36 @@ class DedupEngine:
         if index is not None:
             index.remove_record(record_id)
 
-    def observe_governor(
-        self, database: str, bytes_in: int, bytes_out: int
+    def observe_admission(
+        self,
+        database: str,
+        bytes_in: int,
+        bytes_out: int,
+        features: Iterable[int] | None = None,
     ) -> None:
-        """Feed one record's sizes to the governor; tear down on disable."""
-        still_enabled = self.governor.observe(database, bytes_in, bytes_out)
+        """Feed one record's outcome to the yield estimator; tear down on
+        a permanent-bypass transition.
+
+        ``features`` is the record's sketch, feeding the duplicate-
+        locality half of the score.
+        """
+        still_enabled = self.admission.observe(
+            database, bytes_in, bytes_out, features=features
+        )
         if not still_enabled:
             # §3.4.1: delete the disabled database's index partition, and
-            # prune the per-record bookkeeping that referenced it.
+            # prune the per-record bookkeeping that referenced it. Queued
+            # deferred records of the stream are pointless now and are
+            # discarded (counted in deferred_discarded_total).
             index = self._indexes.pop(database, None)
             if index is not None:
                 index.clear()
             for record_id in self._partition_records.pop(database, ()):
                 self._insert_seq.pop(record_id, None)
+            self.admission.discard_deferred(database)
+
+    def observe_governor(
+        self, database: str, bytes_in: int, bytes_out: int
+    ) -> None:
+        """Legacy name for :meth:`observe_admission` (no sketch signal)."""
+        self.observe_admission(database, bytes_in, bytes_out)

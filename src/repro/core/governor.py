@@ -1,28 +1,23 @@
-"""Automatic deduplication governor (§3.4.1).
+"""Deprecated home of the §3.4.1 governor — see :mod:`repro.core.admission`.
 
-Not every database dedups well; for those that do not, the whole pipeline
-is pure overhead. The governor tracks the achieved compression ratio per
-database over windows of insertions and permanently disables dedup for a
-database whose ratio stays under the threshold — the paper's rationale
-being that workload dedupability rarely changes character over time.
+The binary per-database kill switch grew into the three-way per-stream
+:class:`~repro.core.admission.AdmissionController`; the paper-faithful
+one-way semantics live on as its ``mode="governor"`` configuration
+(``DedupConfig.admission_mode="governor"``, still the default).
+
+:class:`DedupGovernor` remains importable for old call sites: it is a
+governor-mode controller with the legacy constructor signature, warning
+once per process via :mod:`repro.util.deprecation`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from repro.core.admission import MODE_GOVERNOR, AdmissionController
+from repro.util.deprecation import warn_once
 
 
-@dataclass
-class _DatabaseState:
-    bytes_in: int = 0
-    bytes_out: int = 0
-    inserts: int = 0
-    disabled: bool = False
-
-
-@dataclass
-class DedupGovernor:
-    """Per-database dedup kill switch.
+class DedupGovernor(AdmissionController):
+    """Per-database dedup kill switch (deprecated shim).
 
     Attributes:
         threshold: minimum window compression ratio to stay enabled (1.1).
@@ -30,51 +25,11 @@ class DedupGovernor:
             paper; smaller for simulated corpora).
     """
 
-    threshold: float = 1.1
-    window: int = 100_000
-    _states: dict[str, _DatabaseState] = field(default_factory=dict)
-    disabled_databases: set[str] = field(default_factory=set)
-
-    def __post_init__(self) -> None:
-        if self.threshold < 1.0:
-            raise ValueError(f"threshold must be >= 1.0, got {self.threshold}")
-        if self.window < 1:
-            raise ValueError(f"window must be >= 1, got {self.window}")
-
-    def is_enabled(self, database: str) -> bool:
-        """Should records of this database go through dedup at all?"""
-        return database not in self.disabled_databases
-
-    def observe(self, database: str, bytes_in: int, bytes_out: int) -> bool:
-        """Fold one record's in/out sizes; returns False if dedup just
-        got disabled for the database (the caller must then drop its index
-        partition).
-
-        A disabled database is never re-enabled (§3.4.1: "dbDedup does not
-        reactivate a database for which dedup is already disabled").
-        """
-        state = self._states.setdefault(database, _DatabaseState())
-        if state.disabled:
-            return False
-        state.bytes_in += bytes_in
-        state.bytes_out += bytes_out
-        state.inserts += 1
-        if state.inserts < self.window:
-            return True
-        ratio = state.bytes_in / state.bytes_out if state.bytes_out else 1.0
-        if ratio < self.threshold:
-            state.disabled = True
-            self.disabled_databases.add(database)
-            return False
-        # Healthy window: start a fresh one.
-        state.bytes_in = 0
-        state.bytes_out = 0
-        state.inserts = 0
-        return True
-
-    def window_ratio(self, database: str) -> float:
-        """Current window's compression ratio (1.0 when empty)."""
-        state = self._states.get(database)
-        if state is None or not state.bytes_out:
-            return 1.0
-        return state.bytes_in / state.bytes_out
+    def __init__(self, threshold: float = 1.1, window: int = 100_000) -> None:
+        warn_once(
+            "DedupGovernor",
+            "DedupGovernor is deprecated; use repro.core.admission."
+            "AdmissionController (the governor survives as "
+            "admission_mode='governor', the default)",
+        )
+        super().__init__(mode=MODE_GOVERNOR, threshold=threshold, window=window)

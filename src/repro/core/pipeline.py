@@ -18,7 +18,8 @@ monolithic ``DedupEngine.encode()`` never had:
 
 Ordering contract: the stages from the index lookup onward mutate shared
 state (feature index, insertion sequence, source cache, chain registry,
-governor) whose evolution must match the sequential insert order exactly —
+admission estimator) whose evolution must match the sequential insert
+order exactly —
 replica convergence depends on both ends of the replication link deriving
 identical chains from the same ordered stream. ``run_batch`` therefore
 hoists only *pure* work (sketching) into its batch phase and still runs
@@ -43,8 +44,13 @@ if TYPE_CHECKING:  # pragma: no cover — import cycle guard, types only
 
 # -- drop reasons ---------------------------------------------------------------
 
-#: The governor has dedup disabled for the record's database (§3.4.1).
+#: Admission control has dedup permanently bypassed for the record's
+#: stream (§3.4.1 governor semantics; hybrid-mode bypass transitions).
+#: The label value keeps the historical "governor_bypass" spelling so
+#: exported metrics stay comparable across versions.
 DROP_GOVERNOR = "governor_bypass"
+#: Preferred alias under the admission-control terminology.
+DROP_BYPASS = DROP_GOVERNOR
 #: The record is below the adaptive size filter's cut-off (§3.4.2).
 DROP_SIZE_FILTER = "size_filtered"
 #: The index returned no usable candidate (or only the record itself).
@@ -216,17 +222,27 @@ class _StageBase:
         """No batch precomputation by default."""
 
 
-class GovernorGate(_StageBase):
-    """§3.4.1: bypass databases whose dedup the governor disabled."""
+class AdmissionGate(_StageBase):
+    """Admission control: bypass streams whose dedup is disabled.
 
-    name = "governor_gate"
+    Covers §3.4.1 (governor mode) and the hybrid mode's permanent-bypass
+    transitions. Deferral never reaches this stage — the engine parks
+    deferred records *before* building a pipeline context, so every
+    record the pipeline sees is counted exactly once in its stats.
+    """
+
+    name = "admission_gate"
 
     def run(self, ctx: EncodeContext) -> None:
-        """Drop the record when its database's dedup is disabled."""
-        if not self.engine.governor.is_enabled(ctx.database):
+        """Drop the record when its stream's dedup is disabled."""
+        if not self.engine.admission.is_enabled(ctx.database):
             self.engine.stats.note_bypass()
             self.engine.stats_for(ctx.database).note_bypass()
             ctx.drop(self.name, DROP_GOVERNOR)
+
+
+#: Deprecated alias (pre-admission name of the stage class).
+GovernorGate = AdmissionGate
 
 
 class SizeFilterGate(_StageBase):
@@ -385,7 +401,12 @@ class AccountingStage(_StageBase):
             )
             # Source-cache hit/miss accounting lives in the cache itself
             # since the unification; stats delegate to it.
-            engine.observe_governor(ctx.database, ctx.raw_size, oplog_size)
+            engine.observe_admission(
+                ctx.database,
+                ctx.raw_size,
+                oplog_size,
+                features=ctx.sketch.features if ctx.sketch else None,
+            )
             ctx.result = EncodeResult(
                 record_id=ctx.record_id,
                 database=ctx.database,
@@ -404,9 +425,14 @@ class AccountingStage(_StageBase):
 
         if ctx.passed_gates:
             # §3.3.1: an unencoded record still enters the source cache
-            # (it may become tomorrow's source) and the governor window.
+            # (it may become tomorrow's source) and the admission window.
             engine.source_cache.admit(ctx.record_id, ctx.content)
-            engine.observe_governor(ctx.database, ctx.raw_size, ctx.raw_size)
+            engine.observe_admission(
+                ctx.database,
+                ctx.raw_size,
+                ctx.raw_size,
+                features=ctx.sketch.features if ctx.sketch else None,
+            )
         engine.stats.record_insert(
             ctx.raw_size, ctx.raw_size, ctx.raw_size, deduped=False
         )
@@ -484,7 +510,7 @@ def build_default_pipeline(
     """The standard dbDedup stage list wired to one engine."""
     return DedupPipeline(
         stages=[
-            GovernorGate(engine),
+            AdmissionGate(engine),
             SizeFilterGate(engine),
             SketchStage(engine),
             IndexLookupStage(engine),

@@ -689,9 +689,20 @@ class Cluster:
 
     def _healthy_content(self, exclude_node, database: str, record_id: str):
         """A record's content from any replica that reads it cleanly,
-        falling back to an oplog replay when no replica can serve it."""
+        falling back to an oplog replay when no replica can serve it.
+
+        A secondary with undelivered oplog entries for the record is
+        skipped: it reads cleanly but serves the *previous* version, and
+        restoring that onto the primary would silently roll back a
+        confirmed write. The oplog-replay fallback covers the case where
+        no replica holds a fresh clean copy.
+        """
         for node in [self.primary, *self.secondaries]:
             if node is exclude_node:
+                continue
+            if node is not self.primary and self._secondary_is_stale_for(
+                node, record_id
+            ):
                 continue
             record = node.db.records.get(record_id)
             if record is None or record.deleted:
@@ -712,6 +723,20 @@ class Cluster:
         except (CorruptPage, CorruptChain):  # pragma: no cover — replay is raw
             return None
         return content
+
+    def _secondary_is_stale_for(self, node, record_id: str) -> bool:
+        """True when ``node`` has not yet applied every oplog entry the
+        primary holds for ``record_id`` (or its position is unknowable)."""
+        link = next(
+            (link for link in self.links if link.secondary is node), None
+        )
+        if link is None:
+            return True  # unlinked replica: freshness unknowable
+        try:
+            pending = self.primary.oplog.entries_since(link.cursor)
+        except ValueError:
+            return True  # cursor in truncated history: needs a snapshot
+        return any(entry.record_id == record_id for entry in pending)
 
     def scrub(self) -> dict[str, int]:
         """Proactive checksum scrub: verify every node, repair quarantine.
@@ -849,6 +874,10 @@ class Cluster:
             for link in self.links:
                 if link.cursor < head:
                     link.sync()
+        # Out-of-line dedup passes produce no oplog entries, so they may
+        # run after the tail shipped; they do produce write-backs, which
+        # the drain below then applies.
+        self.primary.drain_deferred_dedup(force=True)
         self.primary.db.drain_writebacks()
         for secondary in self.secondaries:
             secondary.db.drain_writebacks()

@@ -580,6 +580,27 @@ def _check_rollback_completeness(cluster, report: InvariantReport) -> None:
             f"deferred index rebuild backlog not drained "
             f"({backlog} record(s) pending)",
         )
+    _check_deferred_drained(cluster, report)
+
+
+def _check_deferred_drained(cluster, report: InvariantReport) -> None:
+    """After a drain, no record still awaits its out-of-line dedup pass.
+
+    ``Cluster.finalize`` force-drains the admission queue; an entry left
+    behind would mean the run's storage state never converges with the
+    all-inline equivalent (the inline ≡ hybrid property the admission
+    subsystem promises).
+    """
+    primary = cluster.primary
+    if not getattr(primary, "is_available", True):
+        return  # a crashed primary cannot drain; convergence checks cover it
+    pending = getattr(primary, "deferred_queue_len", 0)
+    if pending:
+        report.add(
+            "primary", "admission",
+            f"deferred dedup queue not drained ({pending} record(s) "
+            "pending after finalize)",
+        )
 
 
 def _check_convergence(cluster, report: InvariantReport) -> None:

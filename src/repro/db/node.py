@@ -398,6 +398,7 @@ class PrimaryNode:
             return latency
 
         result = self.engine.encode(database, record_id, content, provider=self.db)
+        self._absorb_drained(result)
         self.background_cpu_seconds += result.cpu_seconds
         if result.deduped:
             self.oplog.append(
@@ -409,14 +410,11 @@ class PrimaryNode:
                 base_id=result.source_id,
                 encoded=True,
             )
-            if self.use_writeback_cache:
-                self.db.schedule_writebacks(result.writebacks)
-            else:
-                # Ablation for Fig. 13b: write deltas back immediately; the
-                # extra queued writes delay subsequent foreground requests.
-                for entry in result.writebacks:
-                    self.db.apply_writeback(entry)
+            self._apply_writebacks(result)
         else:
+            # Deferred records also land here: raw in storage, raw in the
+            # oplog (the WAL must cover the record *now*; out-of-line
+            # dedup later changes only the stored form, never the log).
             self.oplog.append(
                 self.clock.now, "insert", database, record_id, payload=content
             )
@@ -454,6 +452,7 @@ class PrimaryNode:
 
         results = self.engine.encode_batch(items, provider=self.db)
         for (database, record_id, content), result in zip(items, results):
+            self._absorb_drained(result)
             self.background_cpu_seconds += result.cpu_seconds
             if result.deduped:
                 self.oplog.append(
@@ -465,11 +464,7 @@ class PrimaryNode:
                     base_id=result.source_id,
                     encoded=True,
                 )
-                if self.use_writeback_cache:
-                    self.db.schedule_writebacks(result.writebacks)
-                else:
-                    for entry in result.writebacks:
-                        self.db.apply_writeback(entry)
+                self._apply_writebacks(result)
             else:
                 self.oplog.append(
                     self.clock.now, "insert", database, record_id,
@@ -477,6 +472,28 @@ class PrimaryNode:
                 )
         self.db.flush_writebacks_if_idle(max_flushes=4 * len(items))
         return latency
+
+    def _apply_writebacks(self, result) -> None:
+        """Schedule (or, in the ablation, immediately apply) write-backs."""
+        if self.use_writeback_cache:
+            self.db.schedule_writebacks(result.writebacks)
+        else:
+            # Ablation for Fig. 13b: write deltas back immediately; the
+            # extra queued writes delay subsequent foreground requests.
+            for entry in result.writebacks:
+                self.db.apply_writeback(entry)
+
+    def _absorb_drained(self, result) -> None:
+        """Process deferred-drain results riding along on an encode.
+
+        Drained records were stored (and oplogged) raw at insert time, so
+        only their storage-side effects remain: write-backs and the CPU
+        they burned. No oplog entries — replicas already have the bytes.
+        """
+        for drained in result.drained:
+            self.background_cpu_seconds += drained.cpu_seconds
+            if drained.deduped:
+                self._apply_writebacks(drained)
 
     def read(self, database: str, record_id: str) -> tuple[bytes | None, float]:
         """Client read, decoding if the record is delta-encoded."""
@@ -488,6 +505,10 @@ class PrimaryNode:
         """Replace a record's content."""
         self._require_available()
         latency = self.costs.request_overhead_s + self.db.update(record_id, content)
+        if self.engine is not None:
+            # A queued deferred copy holds the pre-update bytes; dedup-
+            # processing them now would index stale content.
+            self.engine.invalidate_deferred(record_id)
         self.oplog.append(
             self.clock.now, "update", database, record_id, payload=content
         )
@@ -501,15 +522,55 @@ class PrimaryNode:
             # Per-record engine bookkeeping (insertion sequence) must not
             # outlive the record, or it leaks one entry per deletion.
             self.engine.forget_record(database, record_id)
+            self.engine.invalidate_deferred(record_id)
         self.oplog.append(self.clock.now, "delete", database, record_id)
         return latency
+
+    #: Deferred records dedup-processed per idle tick — bounded so one
+    #: tick never monopolizes the simulated idle window.
+    DEFERRED_DRAIN_SLICE = 32
 
     def on_idle(self) -> int:
         """Drain background work while the client is quiet (Fig. 13b)."""
         if self._crashed:
             return 0
         self.drain_index_backlog(8 * self.INDEX_REBUILD_SLICE)
-        return self.db.flush_writebacks_if_idle()
+        drained = self.drain_deferred_dedup(
+            max_records=self.DEFERRED_DRAIN_SLICE
+        )
+        return self.db.flush_writebacks_if_idle() + drained
+
+    def drain_deferred_dedup(
+        self, max_records: int | None = None, force: bool = False
+    ) -> int:
+        """Run out-of-line dedup passes over queued deferred records.
+
+        Gated on §3.3.2's idleness signal (disk queue at or below
+        ``idle_queue_threshold``) unless ``force`` is set — the finalize
+        path forces a full drain so a run's storage state converges with
+        the all-inline equivalent. Returns the records processed.
+        """
+        if self.engine is None or self._crashed:
+            return 0
+        if not force and not self.db.disk.is_idle(
+            self.config.idle_queue_threshold
+        ):
+            return 0
+        results = self.engine.drain_deferred(
+            self.db, max_records=max_records
+        )
+        for result in results:
+            self.background_cpu_seconds += result.cpu_seconds
+            if result.deduped:
+                self._apply_writebacks(result)
+        return len(results)
+
+    @property
+    def deferred_queue_len(self) -> int:
+        """Records awaiting an out-of-line dedup pass (0 without dedup)."""
+        if self.engine is None:
+            return 0
+        return self.engine.pending_deferred()
 
     def checkpoint(self, path, replica_cursors: list[int] | None = None) -> int:
         """Durability checkpoint: snapshot the store, truncate the oplog.

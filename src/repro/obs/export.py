@@ -354,6 +354,11 @@ def check_reconciliation(document: dict) -> list[str]:
     * failover: ``rollback_entries_total <= oplog_appends_total`` — a
       divergence rollback can only discard entries some node appended
       (the appends counter is monotonic across truncations);
+    * admission: per shard, defer decisions ==
+      ``outofline_dedup_records_total + deferred_queue_depth +
+      deferred_discarded_total`` — every deferred record is either
+      still queued, was deduped out of line, or was discarded
+      (superseded by an update/delete or swept by a bypass);
     * source cache: exported hits/misses match the engine-scope legacy
       counters by construction (same instrument), nothing to cross-check.
 
@@ -430,5 +435,35 @@ def check_reconciliation(document: dict) -> list[str]:
                 problems.append(
                     f"failover {key}: rollback_entries={dropped} > "
                     f"oplog_appends={limit}"
+                )
+
+    # Admission: every deferred record is accounted for exactly once —
+    # still queued, deduped out of line, or discarded. Decisions are
+    # labeled (decision, stream); fold streams away and keep the shard
+    # suffix _scalar_groups appends so each shard balances on its own.
+    decisions = _scalar_groups(
+        metrics, "admission_decisions_total", ("decision",)
+    )
+    if decisions:
+        outofline = _scalar_groups(
+            metrics, "outofline_dedup_records_total", ()
+        )
+        queued = _scalar_groups(metrics, "deferred_queue_depth", ())
+        discarded = _scalar_groups(
+            metrics, "deferred_discarded_total", ()
+        )
+        for key, deferred in decisions.items():
+            if key[0] != "defer":
+                continue
+            shard_key = key[1:]
+            accounted = (
+                outofline.get(shard_key, 0.0)
+                + queued.get(shard_key, 0.0)
+                + discarded.get(shard_key, 0.0)
+            )
+            if deferred != accounted:
+                problems.append(
+                    f"admission {shard_key}: defer_decisions={deferred} "
+                    f"!= outofline+queued+discarded={accounted}"
                 )
     return problems

@@ -167,6 +167,18 @@ class InstrumentFamily:
             raise ValueError(f"{self.name}: histograms cannot use collectors")
         self._collectors.append(fn)
 
+    def clear_collectors(self) -> None:
+        """Drop every registered collector.
+
+        For families owned by a rebuildable component (e.g. the dedup
+        engine, rebuilt on restart and promotion): shadowing only
+        replaces label sets the new collector also reports, so a sparse
+        collector would leak the dead component's stale rows. The owner
+        clears before re-registering so exactly one generation feeds the
+        family.
+        """
+        self._collectors.clear()
+
     def items(self) -> list[tuple[tuple[str, ...], float]]:
         """``(label_values, scalar)`` pairs for counter/gauge families."""
         if self.kind == "histogram":

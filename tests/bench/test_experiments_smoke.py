@@ -93,7 +93,7 @@ class TestPipelineProfile:
 
         result = pipeline_profile("enron", target_bytes=TINY, batch_size=16)
         stages = [row.stage for row in result.rows]
-        assert stages[0] == "governor_gate" and stages[-1] == "accounting"
+        assert stages[0] == "admission_gate" and stages[-1] == "accounting"
         accounting = result.rows[-1]
         assert accounting.records_in == result.records_seen
         assert accounting.records_out == result.records_seen

@@ -66,7 +66,7 @@ def test_governor_bypass_increments_one_reason(document):
     result = insert(engine, DictProvider(), "r0", document)
     assert not result.deduped
     assert engine.stats.drop_reasons == {"governor_bypass": 1}
-    assert_single_drop(engine, "governor_bypass", "governor_gate")
+    assert_single_drop(engine, "governor_bypass", "admission_gate")
     # Gated records never reach the sketch stage but always reach the
     # terminal accounting stage.
     assert engine.stats.stage_records_in.get("sketch", 0) == 0
@@ -133,7 +133,7 @@ def test_stage_counts_reconcile_on_workload():
         assert records_in == records_out + stats.drops_at_stage(name)
 
     # The first gate and the terminal accounting stage see every record.
-    assert stats.stage_records_in["governor_gate"] == stats.records_seen
+    assert stats.stage_records_in["admission_gate"] == stats.records_seen
     assert stats.stage_records_in["accounting"] == stats.records_seen
     assert stats.stage_records_out["accounting"] == stats.records_seen
 
@@ -159,7 +159,7 @@ def test_describe_includes_stage_table(document):
     insert(engine, DictProvider(), "r0", document)
     rendered = engine.describe()
     assert "encode pipeline stages" in rendered
-    assert "governor_gate" in rendered
+    assert "admission_gate" in rendered
     assert "no_candidate=1" in rendered
 
 

@@ -37,6 +37,23 @@ BANNED = re.compile(
 #: Pre-redesign call sites, grandfathered as-is. Shrink only: migrating
 #: one of these to ``repro.api`` removes its line; adding a NEW file
 #: here (or a new import in a file not listed) is a boundary violation.
+#: The §3.4.1 governor is now ``AdmissionController(mode="governor")``;
+#: ``repro.core.governor.DedupGovernor`` survives only as a deprecated
+#: warn-once shim. Code outside ``src/repro`` must not bind it — only
+#: the legacy-semantics tests below may, and this set may never grow.
+GOVERNOR_BANNED = re.compile(
+    r"^\s*("
+    r"from\s+repro\.core\.governor\s+import\b"
+    r"|import\s+repro\.core\.governor\b"
+    r"|from\s+repro(\.core)?\s+import\s+[(\w ,]*\bDedupGovernor\b"
+    r")"
+)
+
+GOVERNOR_ALLOWED = frozenset({
+    "tests/core/test_governor.py",   # pins the legacy governor semantics
+    "tests/core/test_admission.py",  # asserts the deprecation shim warns
+})
+
 ALLOWED = frozenset({
     "benchmarks/test_batch_insert.py",
     "tests/analysis/test_chains.py",
@@ -69,41 +86,55 @@ ALLOWED = frozenset({
 })
 
 
-def find_violations() -> list[tuple[str, int, str]]:
-    """``(relative_path, line_number, line)`` for every banned import."""
-    violations: list[tuple[str, int, str]] = []
+#: ``(pattern, allowlist, what the offending line should do instead)``.
+RULES = (
+    (BANNED, ALLOWED, "imports internal Cluster (use repro.api.open_cluster)"),
+    (
+        GOVERNOR_BANNED,
+        GOVERNOR_ALLOWED,
+        "imports the deprecated governor shim "
+        '(use AdmissionController / admission_mode="governor")',
+    ),
+)
+
+
+def find_violations() -> list[tuple[str, int, str, str]]:
+    """``(relative_path, line_number, line, message)`` per banned import."""
+    violations: list[tuple[str, int, str, str]] = []
     for tree in SCANNED_TREES:
         root = REPO_ROOT / tree
         if not root.is_dir():
             continue
         for path in sorted(root.rglob("*.py")):
             relative = path.relative_to(REPO_ROOT).as_posix()
-            if relative in ALLOWED:
-                continue
-            for number, line in enumerate(
-                path.read_text(encoding="utf-8").splitlines(), start=1
-            ):
-                if BANNED.match(line):
-                    violations.append((relative, number, line.strip()))
+            lines = path.read_text(encoding="utf-8").splitlines()
+            for pattern, allowed, message in RULES:
+                if relative in allowed:
+                    continue
+                for number, line in enumerate(lines, start=1):
+                    if pattern.match(line):
+                        violations.append(
+                            (relative, number, line.strip(), message)
+                        )
     return violations
 
 
 def main() -> int:
     """Print violations; exit non-zero when the boundary is crossed."""
     violations = find_violations()
-    for relative, number, line in violations:
-        print(
-            f"{relative}:{number}: imports internal Cluster "
-            f"(use repro.api.open_cluster): {line}"
-        )
+    for relative, number, line, message in violations:
+        print(f"{relative}:{number}: {message}: {line}")
     if violations:
         print(
             f"\n{len(violations)} API-boundary violation(s). New code must "
             "go through repro.api (see docs/API.md); do not extend the "
-            "allowlist in tools/check_api_boundary.py."
+            "allowlists in tools/check_api_boundary.py."
         )
         return 1
-    print("API boundary clean: no new internal Cluster imports.")
+    print(
+        "API boundary clean: no new internal Cluster or governor-shim "
+        "imports."
+    )
     return 0
 
 
