@@ -120,6 +120,70 @@ def test_snappy_decompress_32k(benchmark, corpus):
     assert result == data
 
 
+CHUNKING_BASELINE = (
+    Path(__file__).parent / "baselines" / "chunking_microbench.json"
+)
+
+
+@pytest.fixture(scope="module")
+def chunking_corpus():
+    return TextGenerator(seed=77).document(256 * 1024).encode()
+
+
+def _throughput_mb_s(chunker, data, repeat=3):
+    """Best-of-N boundary-scan throughput in MB/s."""
+    import time
+
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        chunker.boundaries(data)
+        best = min(best, time.perf_counter() - t0)
+    return len(data) / best / 1e6
+
+
+def test_chunking_throughput_vectorized_vs_scalar(chunking_corpus):
+    """The vectorized lane must stay >= 3x the scalar lane's throughput.
+
+    Measured both against the scalar lane run here and now (robust to
+    host speed) and against the committed scalar baseline (catches a
+    vectorized-lane regression even if the scalar lane slowed down
+    alongside it). Regenerate the baseline after an intended change
+    with::
+
+        PYTHONPATH=src python benchmarks/regen_chunking_baseline.py
+    """
+    scalar = ContentDefinedChunker(avg_size=64, impl="scalar")
+    vector = ContentDefinedChunker(avg_size=64, impl="vectorized")
+    assert scalar.boundaries(chunking_corpus) == vector.boundaries(
+        chunking_corpus
+    )
+
+    scalar_mb_s = _throughput_mb_s(scalar, chunking_corpus)
+    vector_mb_s = _throughput_mb_s(vector, chunking_corpus)
+    assert vector_mb_s >= 3.0 * scalar_mb_s, (
+        f"vectorized {vector_mb_s:.1f} MB/s < 3x scalar "
+        f"{scalar_mb_s:.1f} MB/s"
+    )
+
+    baseline = json.loads(CHUNKING_BASELINE.read_text(encoding="utf-8"))
+    assert len(chunking_corpus) == baseline["corpus_bytes"]
+    assert vector_mb_s >= 3.0 * baseline["scalar_mb_s"], (
+        f"vectorized {vector_mb_s:.1f} MB/s < 3x committed scalar "
+        f"baseline {baseline['scalar_mb_s']:.1f} MB/s"
+    )
+
+
+def test_chunking_batch_throughput(benchmark, chunking_corpus):
+    records = [
+        chunking_corpus[i : i + 4096]
+        for i in range(0, len(chunking_corpus), 4096)
+    ]
+    chunker = ContentDefinedChunker(avg_size=64, impl="vectorized")
+    results = benchmark(chunker.boundaries_many, records)
+    assert len(results) == len(records)
+
+
 ADMISSION_BASELINE = (
     Path(__file__).parent / "baselines" / "admission_microbench.json"
 )

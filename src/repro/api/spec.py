@@ -49,6 +49,11 @@ class ClusterSpec:
             permanent bypass in hybrid mode).
         admission_queue_records: override of
             ``dedup.admission_queue_records`` (deferred-queue bound).
+        chunker_impl: convenience override of ``dedup.chunker_impl`` —
+            ``"scalar"``, ``"vectorized"`` or ``"auto"``; None keeps
+            the dedup config's value. Both lanes produce byte-identical
+            boundaries and sketches (the scalar lane is the
+            differential-testing oracle), so this knob only moves CPU.
         block_compression: page compressor: 'none', 'snappy', 'zlib'.
         batch_compression: oplog-batch compressor before transfer.
         use_writeback_cache: False disables the encode write-back cache.
@@ -83,6 +88,7 @@ class ClusterSpec:
     admission_inline_threshold: float | None = None
     admission_bypass_threshold: float | None = None
     admission_queue_records: int | None = None
+    chunker_impl: str | None = None
     block_compression: str = "none"
     batch_compression: str = "none"
     use_writeback_cache: bool = True
@@ -125,6 +131,7 @@ class ClusterSpec:
                 ("admission_inline_threshold", self.admission_inline_threshold),
                 ("admission_bypass_threshold", self.admission_bypass_threshold),
                 ("admission_queue_records", self.admission_queue_records),
+                ("chunker_impl", self.chunker_impl),
             )
             if value is not None
         }

@@ -1,6 +1,23 @@
-"""Record chunking: content-defined (Rabin) and fixed-size strategies."""
+"""Record chunking: content-defined (normalized gear) and fixed-size.
 
-from repro.chunking.cdc import Chunk, ContentDefinedChunker
+The content-defined chunker has two lanes producing byte-identical
+boundaries: a numpy-vectorized bulk sweep (the hot path) and a scalar
+byte-at-a-time oracle (:mod:`repro.chunking.scalar`) kept for
+differential testing.
+"""
+
+from repro.chunking.cdc import (
+    CHUNKER_IMPLS,
+    Chunk,
+    ContentDefinedChunker,
+    normalized_masks,
+)
 from repro.chunking.fixed import FixedSizeChunker
 
-__all__ = ["Chunk", "ContentDefinedChunker", "FixedSizeChunker"]
+__all__ = [
+    "CHUNKER_IMPLS",
+    "Chunk",
+    "ContentDefinedChunker",
+    "FixedSizeChunker",
+    "normalized_masks",
+]

@@ -1,21 +1,78 @@
-"""Content-defined chunking with Rabin fingerprints (§3.1.1).
+"""Content-defined chunking with a normalized gear-hash fingerprint (§3.1.1).
 
-A chunk boundary is declared after any byte where the low ``n`` bits of the
-window's Rabin hash match a fixed pattern; ``n`` bits yields an average
-chunk size of ``2^n`` bytes. Min/max clamps bound the tail of the size
-distribution, as in every production CDC system.
+A chunk boundary is declared after any byte where the low bits of the
+rolling gear hash (:mod:`repro.hashing.gear`) are zero. Following
+FastCDC-style *normalized chunking*, the boundary test uses a pair of
+masks instead of one: positions before the target size must zero
+``log2(avg_size) + 2`` low bits (cuts are rare), positions past it only
+``log2(avg_size) - 2`` (cuts are quick). The pair pulls the chunk-size
+distribution in toward the target from both sides, and the ``min``/
+``max`` clamps still bound the tails outright — a forced cut landing
+exactly on a hash match emits a single boundary.
 
-The boundary scan itself is vectorized (one :func:`rolling_rabin` pass plus
-``np.nonzero``); only the sparse boundary candidates are visited in Python.
+Two lanes compute the same boundaries:
+
+* **scalar** — byte-at-a-time with skip-ahead past min-chunk regions
+  (:func:`repro.chunking.scalar.scalar_boundaries`). This is the
+  differential-testing *oracle*: slow, obvious, frozen.
+* **vectorized** — a numpy bulk sweep (:func:`~repro.hashing.gear.
+  gear_hashes`) computes the hash at every position in six shift-add
+  passes; only the sparse mask matches are visited in Python.
+  :meth:`ContentDefinedChunker.boundaries_many` amortizes one padded
+  sweep across a whole batch of records.
+
+The lanes are selected by ``impl`` (surfaced as
+``DedupConfig.chunker_impl``); the differential fuzz suite holds them
+byte-identical on every input, so every equivalence property proved
+elsewhere (batch ≡ sequential, sharded ≡ unsharded, inline ≡ hybrid)
+holds regardless of lane.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.hashing.rabin import DEFAULT_PRIME, DEFAULT_WINDOW, rolling_rabin
+from repro.chunking.scalar import scalar_boundaries
+from repro.hashing.gear import GEAR_NP, WINDOW, gear_hashes
+
+#: Recognized ``impl`` values: the explicit lanes plus ``"auto"``, which
+#: resolves to the vectorized lane (numpy is a hard dependency; the knob
+#: exists so differential tests and ablations can force the oracle).
+CHUNKER_IMPLS = ("scalar", "vectorized", "auto")
+
+#: Normalization level: the strict mask carries ``log2(avg) + 2`` low
+#: bits, the loose mask ``log2(avg) - 2`` (FastCDC's "NC 2" setting).
+NORMALIZATION_BITS = 2
+
+#: Zero entries inserted between records in the batched sweep, so one
+#: record's gear terms cannot bleed into the next record's first
+#: ``WINDOW - 1`` hash positions (a zero term contributes nothing at any
+#: shift).
+_BATCH_GAP = WINDOW - 1
+
+#: Records at or above this size skip the batched padded sweep and take
+#: the per-record path inside :meth:`ContentDefinedChunker.
+#: boundaries_many`: the sweep amortizes fixed numpy dispatch cost,
+#: which stops mattering once per-record arrays are this large, while
+#: the padded copy and the cache footprint of one huge array start to
+#: cost. The cutoff only routes work — both paths are byte-identical.
+_BATCH_RECORD_CUTOFF = 2048
+
+
+def normalized_masks(avg_size: int) -> tuple[int, int]:
+    """The (strict, loose) boundary masks for a target chunk size.
+
+    ``avg_size`` must be a power of two; the strict mask zeroes
+    ``log2 + 2`` low bits (applied up to the target size), the loose mask
+    ``log2 - 2`` (applied past it, clamped to at least one bit).
+    """
+    bits = avg_size.bit_length() - 1
+    strict = (1 << min(bits + NORMALIZATION_BITS, 63)) - 1
+    loose = (1 << max(bits - NORMALIZATION_BITS, 1)) - 1
+    return strict, loose
 
 
 @dataclass(frozen=True)
@@ -31,16 +88,23 @@ class Chunk:
 
 
 class ContentDefinedChunker:
-    """Rabin-fingerprint chunker with a target average chunk size.
+    """Normalized gear-hash chunker with a target average chunk size.
 
     Args:
-        avg_size: target average chunk size in bytes; must be a power of two
-            (the boundary test masks ``log2(avg_size)`` low bits).
-        min_size: boundaries closer than this to the previous one are
-            suppressed. Defaults to ``avg_size // 4``.
+        avg_size: target chunk size in bytes; must be a power of two
+            ``>= 8`` (the normalized masks take ``log2`` of it).
+        min_size: no boundary is declared closer than this to the
+            previous one. Defaults to ``avg_size // 4``.
         max_size: a boundary is forced at this length. Defaults to
             ``avg_size * 4``.
-        window: rolling-hash window width in bytes.
+        impl: ``"scalar"`` (byte-at-a-time oracle), ``"vectorized"``
+            (numpy bulk sweep), or ``"auto"`` (the vectorized lane).
+
+    Attributes:
+        bytes_scanned: bytes pushed through the gear hash, keyed by lane
+            (exported as ``chunker_bytes_scanned_total{impl}``).
+        bytes_skipped: bytes the scalar lane's skip-ahead never touched
+            (exported as ``chunker_skip_bytes_total``).
     """
 
     def __init__(
@@ -48,11 +112,12 @@ class ContentDefinedChunker:
         avg_size: int = 1024,
         min_size: int | None = None,
         max_size: int | None = None,
-        window: int = DEFAULT_WINDOW,
-        prime: int = DEFAULT_PRIME,
+        impl: str = "auto",
     ) -> None:
-        if avg_size < 2 or avg_size & (avg_size - 1):
-            raise ValueError(f"avg_size must be a power of two >= 2, got {avg_size}")
+        if avg_size < 8 or avg_size & (avg_size - 1):
+            raise ValueError(f"avg_size must be a power of two >= 8, got {avg_size}")
+        if impl not in CHUNKER_IMPLS:
+            raise ValueError(f"impl must be one of {CHUNKER_IMPLS}, got {impl!r}")
         self.avg_size = avg_size
         self.min_size = avg_size // 4 if min_size is None else min_size
         self.max_size = avg_size * 4 if max_size is None else max_size
@@ -61,80 +126,128 @@ class ContentDefinedChunker:
                 f"need 0 < min_size <= avg_size <= max_size, got "
                 f"{self.min_size}/{avg_size}/{self.max_size}"
             )
-        self.window = min(window, self.min_size)
-        self.prime = prime
-        self._mask = np.uint64(avg_size - 1)
-        # Any fixed pattern works; avg_size-1 makes the all-ones residue the
-        # boundary marker, which behaves well for low-entropy input too.
-        self._magic = np.uint64(avg_size - 1)
+        self.impl = impl
+        self.strict_mask, self.loose_mask = normalized_masks(avg_size)
+        self.bytes_scanned: dict[str, int] = {"scalar": 0, "vectorized": 0}
+        self.bytes_skipped = 0
+
+    @property
+    def resolved_impl(self) -> str:
+        """The lane actually in use (``"auto"`` resolves to vectorized)."""
+        return "vectorized" if self.impl == "auto" else self.impl
+
+    # -- boundary computation --------------------------------------------------
 
     def boundaries(self, data: bytes) -> list[int]:
         """Return chunk end offsets (ascending, final element ``len(data)``)."""
-        n = len(data)
-        if n == 0:
+        if not data:
             return []
-        hashes = rolling_rabin(data, self.window, self.prime)
-        # hashes[i] covers data[i:i+window]; a match ends a chunk after
-        # byte i+window-1, i.e. at cut position i+window.
-        candidates = np.nonzero((hashes & self._mask) == self._magic)[0] + self.window
-        return self._clamp(candidates.tolist(), n)
+        if self.resolved_impl == "scalar":
+            return self._scalar_boundaries(data)
+        hashes = gear_hashes(data)
+        self.bytes_scanned["vectorized"] += len(data)
+        return self._cuts_from_hashes(hashes, len(data))
 
     def boundaries_many(self, datas: list[bytes]) -> list[list[int]]:
         """Chunk boundaries for a whole batch in one vectorized pass.
 
-        Equivalent to ``[self.boundaries(d) for d in datas]`` but runs a
-        *single* :func:`rolling_rabin` sweep over the concatenated batch,
-        amortizing the fixed numpy dispatch cost that dominates small
-        records. Correctness rests on the window hash being a function of
-        the window bytes alone: position ``i`` of record ``r`` (with batch
-        offset ``o``) hashes ``concat[o+i : o+i+window] ==
-        data[i : i+window]`` for every in-record position
-        ``i <= len(data) - window``, which is exactly the candidate range
-        the per-record path inspects.
+        Equivalent to ``[self.boundaries(d) for d in datas]`` — the gear
+        hash is restartable, so per-record and batched sweeps agree
+        exactly — but runs a *single* numpy sweep over the concatenated
+        batch, amortizing the fixed dispatch cost that dominates small
+        records. Records are separated by :data:`WINDOW` − 1 zero gear
+        terms, which contribute nothing at any shift, so no record's
+        hashes see its neighbour's bytes. Records of
+        :data:`_BATCH_RECORD_CUTOFF` bytes or more gain nothing from
+        amortization and are swept individually. The scalar lane chunks
+        record by record (it has no per-call setup worth amortizing).
         """
         if not datas:
             return []
-        concatenated = b"".join(datas)
-        if len(concatenated) < self.window:
-            # Too short for even one window anywhere: no hash candidates;
-            # every record is clamp-chunked only.
-            return [self._clamp([], len(data)) for data in datas]
-        hashes = rolling_rabin(concatenated, self.window, self.prime)
-        marks = (hashes & self._mask) == self._magic
-        results: list[list[int]] = []
-        offset = 0
-        for data in datas:
-            n = len(data)
-            count = n - self.window + 1
-            if n == 0:
-                results.append([])
-            elif count <= 0:
-                results.append(self._clamp([], n))
+        if self.resolved_impl == "scalar":
+            return [
+                self._scalar_boundaries(data) if data else [] for data in datas
+            ]
+        results: list[list[int] | None] = [None] * len(datas)
+        small: list[int] = []
+        for pos, data in enumerate(datas):
+            if not data:
+                results[pos] = []
+            elif len(data) >= _BATCH_RECORD_CUTOFF:
+                results[pos] = self.boundaries(data)
             else:
-                candidates = (
-                    np.nonzero(marks[offset : offset + count])[0] + self.window
+                small.append(pos)
+        if small:
+            total = sum(len(datas[pos]) for pos in small)
+            padded = np.zeros(total + _BATCH_GAP * len(small), dtype=np.uint64)
+            offset = 0
+            offsets = []
+            for pos in small:
+                data = datas[pos]
+                offsets.append(offset)
+                buf = np.frombuffer(data, dtype=np.uint8)
+                padded[offset : offset + len(data)] = GEAR_NP[buf]
+                offset += len(data) + _BATCH_GAP
+            for shift in (1, 2, 4, 8, 16, 32):
+                np.add(
+                    padded[shift:],
+                    padded[:-shift] << np.uint64(shift),
+                    out=padded[shift:],
                 )
-                results.append(self._clamp(candidates.tolist(), n))
-            offset += n
+            self.bytes_scanned["vectorized"] += total
+            for pos, offset in zip(small, offsets):
+                data = datas[pos]
+                hashes = padded[offset : offset + len(data)]
+                results[pos] = self._cuts_from_hashes(hashes, len(data))
         return results
 
-    def _clamp(self, candidates: list[int], n: int) -> list[int]:
-        """Apply min/max size clamps to raw boundary candidates."""
+    def _scalar_boundaries(self, data: bytes) -> list[int]:
+        """Oracle lane plus its scanned/skipped byte accounting."""
+        cuts, hashed = scalar_boundaries(
+            data, self.min_size, self.avg_size, self.max_size
+        )
+        self.bytes_scanned["scalar"] += hashed
+        if hashed < len(data):
+            self.bytes_skipped += len(data) - hashed
+        return cuts
+
+    def _cuts_from_hashes(self, hashes: np.ndarray, n: int) -> list[int]:
+        """Normalized cut scan over a record's precomputed hash array.
+
+        Mask matches are extracted once with numpy; the per-chunk walk
+        then touches only those sparse candidates via :func:`bisect_left`.
+        Cut semantics mirror the scalar oracle exactly: hash index ``i``
+        ends a chunk at offset ``i + 1``; candidates live in
+        ``[start + min_size, hi]`` with ``hi = min(start + max_size, n)``;
+        the strict mask applies through ``start + avg_size``, the loose
+        mask after; no match forces the cut at ``hi`` (coinciding match
+        and forced cut emit one boundary).
+        """
+        loose_idx = np.nonzero((hashes & np.uint64(self.loose_mask)) == 0)[0]
+        # The strict mask's bits are a superset of the loose mask's, so
+        # strict matches are a subset of the loose candidates.
+        strict_idx = loose_idx[
+            (hashes[loose_idx] & np.uint64(self.strict_mask)) == 0
+        ]
+        loose_pos = (loose_idx + 1).tolist()
+        strict_pos = (strict_idx + 1).tolist()
         cuts: list[int] = []
-        previous = 0
-        for cut in candidates:
-            if cut - previous < self.min_size:
-                continue
-            while cut - previous > self.max_size:
-                previous += self.max_size
-                cuts.append(previous)
-            if cut - previous >= self.min_size:
-                cuts.append(cut)
-                previous = cut
-        while n - previous > self.max_size:
-            previous += self.max_size
-            cuts.append(previous)
-        if previous < n:
+        start = 0
+        while n - start > self.min_size:
+            hi = min(start + self.max_size, n)
+            normal = start + self.avg_size
+            first = start + self.min_size
+            cut = hi
+            i = bisect_left(strict_pos, first)
+            if i < len(strict_pos) and strict_pos[i] <= min(normal, hi):
+                cut = strict_pos[i]
+            elif hi > normal:
+                j = bisect_left(loose_pos, normal + 1)
+                if j < len(loose_pos) and loose_pos[j] <= hi:
+                    cut = loose_pos[j]
+            cuts.append(cut)
+            start = cut
+        if start < n:
             cuts.append(n)
         return cuts
 

@@ -130,7 +130,9 @@ class DedupEngine:
         #: Shared observability registry; the cluster passes its own so
         #: engine, storage, and replication metrics export together.
         self.registry = registry if registry is not None else MetricsRegistry()
-        chunker = ContentDefinedChunker(avg_size=self.config.chunk_size)
+        chunker = ContentDefinedChunker(
+            avg_size=self.config.chunk_size, impl=self.config.chunker_impl
+        )
         self.extractor = SketchExtractor(
             chunker=chunker, top_k=self.config.top_k, seed=self.config.murmur_seed
         )
@@ -334,6 +336,21 @@ class DedupEngine:
             "admission_outofline_cpu_seconds_total",
             "Encode CPU spent draining deferred records",
         )).collect(lambda: {(): self.outofline_cpu_seconds})
+        chunker = self.extractor.chunker
+
+        owned(reg.counter(
+            "chunker_bytes_scanned_total",
+            "Bytes pushed through the CDC gear hash, per chunker lane",
+            ("impl",),
+        )).collect(lambda: {
+            (impl,): float(count)
+            for impl, count in chunker.bytes_scanned.items()
+            if count
+        })
+        owned(reg.counter(
+            "chunker_skip_bytes_total",
+            "Bytes the scalar chunker lane skipped past min-chunk regions",
+        )).collect(lambda: {(): float(chunker.bytes_skipped)})
         reg.gauge(
             "size_filter_threshold_bytes",
             "Adaptive size filter cut-off per database", label,

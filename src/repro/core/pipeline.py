@@ -262,10 +262,12 @@ class SketchStage(_StageBase):
     """§3.1.1: content-defined chunking + top-K consistent sampling.
 
     The only stage with a real batch phase: :meth:`prepare_batch` sketches
-    the whole batch in one vectorized pass (one rolling-Rabin sweep over
-    the concatenated contents), and :meth:`run` then just consumes the
-    parked sketch. CPU is still charged per record at :meth:`run` time so
-    gated records never pay for a sketch they did not use.
+    the whole batch in one vectorized pass (one padded gear-hash sweep
+    over the concatenated contents when the vectorized chunker lane is
+    active — see :mod:`repro.chunking.cdc`), and :meth:`run` then just
+    consumes the parked sketch. CPU is still charged per record at
+    :meth:`run` time so gated records never pay for a sketch they did
+    not use.
     """
 
     name = "sketch"

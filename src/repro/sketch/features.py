@@ -1,6 +1,7 @@
 """Top-K consistent-sampling similarity sketch (§3.1.1).
 
-A record's sketch is the K largest MurmurHash values of its Rabin chunks.
+A record's sketch is the K largest MurmurHash values of its
+content-defined (gear) chunks.
 Consistent sampling (always keep the top-K by magnitude) characterizes
 similarity better than random sampling: two records that share content tend
 to share chunks, and the *same* shared chunks survive the magnitude cut in
@@ -69,30 +70,31 @@ class SketchExtractor:
         full of one repeated chunk yields a single feature, which is the
         behaviour that makes sketch intersection meaningful.
         """
-        chunks = self.chunker.chunks(data)
-        hashes = {murmur3_32(chunk.data, self.seed) for chunk in chunks}
-        top = sorted(hashes, reverse=True)[: self.top_k]
-        return FeatureSketch(features=tuple(top), chunk_count=len(chunks))
+        return self._from_boundaries(data, self.chunker.boundaries(data))
 
     def sketch_many(self, datas: list[bytes]) -> list[FeatureSketch]:
         """Sketch a whole batch of records, amortizing the chunking pass.
 
         Returns exactly ``[self.sketch(d) for d in datas]`` — same chunk
-        boundaries, same features — but the Rabin boundary scan runs once
+        boundaries, same features — but the gear boundary sweep runs once
         over the concatenated batch
         (:meth:`~repro.chunking.cdc.ContentDefinedChunker.boundaries_many`),
-        which is markedly cheaper than per-record scans when records are
-        small relative to numpy's fixed per-call overhead.
+        which is markedly cheaper than per-record sweeps when records are
+        small relative to numpy's fixed per-call overhead. Because both
+        chunker lanes emit identical boundaries, the sketches — and every
+        downstream similarity decision — are lane-independent too.
         """
-        sketches: list[FeatureSketch] = []
-        for data, cuts in zip(datas, self.chunker.boundaries_many(datas)):
-            start = 0
-            hashes = set()
-            for end in cuts:
-                hashes.add(murmur3_32(data[start:end], self.seed))
-                start = end
-            top = sorted(hashes, reverse=True)[: self.top_k]
-            sketches.append(
-                FeatureSketch(features=tuple(top), chunk_count=len(cuts))
-            )
-        return sketches
+        return [
+            self._from_boundaries(data, cuts)
+            for data, cuts in zip(datas, self.chunker.boundaries_many(datas))
+        ]
+
+    def _from_boundaries(self, data: bytes, cuts: list[int]) -> FeatureSketch:
+        """Top-K murmur features over the chunks the cut list describes."""
+        start = 0
+        hashes = set()
+        for end in cuts:
+            hashes.add(murmur3_32(data[start:end], self.seed))
+            start = end
+        top = sorted(hashes, reverse=True)[: self.top_k]
+        return FeatureSketch(features=tuple(top), chunk_count=len(cuts))

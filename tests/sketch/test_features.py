@@ -69,6 +69,29 @@ class TestSimilarityDetection:
         assert not empty.shares_feature_with(other)
 
 
+class TestLaneEquivalence:
+    """Sketches must not depend on which chunker lane computed them."""
+
+    @pytest.mark.parametrize("impl", ["scalar", "vectorized"])
+    def test_lane_matches_auto(self, impl, document):
+        auto = SketchExtractor(
+            chunker=ContentDefinedChunker(avg_size=64, impl="auto"), top_k=8
+        )
+        lane = SketchExtractor(
+            chunker=ContentDefinedChunker(avg_size=64, impl=impl), top_k=8
+        )
+        assert lane.sketch(document) == auto.sketch(document)
+
+    def test_sketch_many_matches_sequential(self, text_gen):
+        docs = [text_gen.document(2000).encode() for _ in range(6)] + [b""]
+        extractor = SketchExtractor(
+            chunker=ContentDefinedChunker(avg_size=64), top_k=8
+        )
+        assert extractor.sketch_many(docs) == [
+            extractor.sketch(d) for d in docs
+        ]
+
+
 class TestSeedIsolation:
     def test_different_seeds_different_features(self, document):
         a = SketchExtractor(seed=1).sketch(document)

@@ -97,10 +97,65 @@ RULES = (
     ),
 )
 
+#: Modules whose *public surface* is frozen, mapped to the exact set of
+#: top-level names they may export. The scalar chunker is the
+#: differential-testing oracle for the vectorized lane: it must stay a
+#: single pure function so nothing can grow to depend on oracle-only
+#: behaviour. Names starting with ``_`` and imports are not surface.
+FROZEN_SURFACES = {
+    "src/repro/chunking/scalar.py": frozenset({"scalar_boundaries"}),
+}
+
+
+def _public_surface(path: Path) -> set[str]:
+    """Top-level public names a module defines (defs, classes, assigns)."""
+    import ast
+
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    names: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            names.add(node.name)
+        elif isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+    return {name for name in names if not name.startswith("_")}
+
+
+def find_frozen_surface_violations() -> list[tuple[str, int, str, str]]:
+    """Frozen modules exporting more (or less) than their pinned surface."""
+    violations: list[tuple[str, int, str, str]] = []
+    for relative, expected in FROZEN_SURFACES.items():
+        path = REPO_ROOT / relative
+        if not path.is_file():
+            violations.append(
+                (relative, 0, "<missing>", "frozen-surface module is gone")
+            )
+            continue
+        actual = _public_surface(path)
+        for name in sorted(actual - expected):
+            violations.append((
+                relative,
+                0,
+                name,
+                "grows the frozen oracle surface (keep the scalar lane "
+                "a single pure function)",
+            ))
+        for name in sorted(expected - actual):
+            violations.append(
+                (relative, 0, name, "frozen-surface name disappeared")
+            )
+    return violations
+
 
 def find_violations() -> list[tuple[str, int, str, str]]:
     """``(relative_path, line_number, line, message)`` per banned import."""
-    violations: list[tuple[str, int, str, str]] = []
+    violations: list[tuple[str, int, str, str]] = list(
+        find_frozen_surface_violations()
+    )
     for tree in SCANNED_TREES:
         root = REPO_ROOT / tree
         if not root.is_dir():
@@ -133,7 +188,7 @@ def main() -> int:
         return 1
     print(
         "API boundary clean: no new internal Cluster or governor-shim "
-        "imports."
+        "imports; frozen oracle surface unchanged."
     )
     return 0
 
