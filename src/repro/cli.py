@@ -20,8 +20,9 @@ from repro.bench.admission_exp import admission_experiment
 from repro.bench.failover_exp import failover_experiment
 from repro.bench.pipeline_profile import pipeline_profile
 from repro.bench.sharding_exp import shard_scaling
+from repro.bench.slo_exp import DEFAULT_CPU_SCALE, slo_experiment
 from repro.core.config import DedupConfig
-from repro.workloads import ALL_WORKLOADS, make_workload
+from repro.workloads import ALL_WORKLOADS, make_workload, parse_tenants
 
 #: Experiment ids accepted by ``experiment`` (paper table/figure numbers).
 EXPERIMENTS = {
@@ -67,6 +68,19 @@ EXPERIMENTS = {
     ),
     "admission": lambda args: admission_experiment(
         mix=args.mix, target_bytes=args.target_bytes, seed=args.seed,
+    ),
+    "slo": lambda args: slo_experiment(
+        parse_tenants(args.tenants, target_bytes=args.tenant_bytes),
+        seed=args.seed,
+        shard_counts=tuple(
+            int(part) for part in args.slo_shards.split(",") if part
+        ),
+        admission_modes=tuple(
+            mode for mode in args.admission_modes.split(",") if mode
+        ),
+        slo_p99_s=args.slo_p99_ms / 1e3,
+        cpu_scale=args.cpu_scale,
+        rate_search=not args.no_rate_search,
     ),
 }
 
@@ -116,6 +130,29 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--mix", default="wikipedia,oltp", metavar="W,W,...",
                      help="admission: comma-separated workload mix whose "
                           "streams the controller classifies independently")
+    exp.add_argument("--tenants", default="stackexchange,oltp",
+                     metavar="W[:RATE],...",
+                     help="slo: comma-separated tenants as "
+                          "workload[:rate_ops_s], e.g. "
+                          "'stackexchange:60,oltp:60'")
+    exp.add_argument("--tenant-bytes", type=int, default=200_000,
+                     help="slo: raw corpus size per tenant")
+    exp.add_argument("--slo-shards", default="1,2", metavar="N,N,...",
+                     help="slo: shard counts swept by the SLO matrix")
+    exp.add_argument("--admission-modes", default="inline,hybrid",
+                     metavar="M,M,...",
+                     help="slo: admission modes swept by the SLO matrix")
+    exp.add_argument("--slo-p99-ms", type=float, default=60.0,
+                     help="slo: sojourn-p99 target in milliseconds")
+    exp.add_argument("--cpu-scale", type=float, default=DEFAULT_CPU_SCALE,
+                     help="slo: chunking-CPU scale of the CPU-constrained "
+                          "cost model (1.0 = the stock dedicated core)")
+    exp.add_argument("--no-rate-search", action="store_true",
+                     help="slo: skip the max-sustainable-rate search and "
+                          "report the base-rate probes only")
+    exp.add_argument("--slo-out", default=None, metavar="PATH",
+                     help="slo: write the versioned repro.slo/v1 bundle "
+                          "(JSON) to PATH")
     _add_obs_arguments(exp)
 
     run = sub.add_parser("run", help="run a workload through a cluster")
@@ -254,6 +291,19 @@ def _export_observability(
         print(f"wrote trace to {args.trace_out}")
 
 
+def _export_slo_bundle(result, args: argparse.Namespace) -> None:
+    """Write the ``repro.slo/v1`` bundle when ``--slo-out`` asked for it."""
+    if not getattr(args, "slo_out", None):
+        return
+    if not hasattr(result, "document"):
+        print(f"--slo-out ignored: experiment {args.id!r} exports no bundle")
+        return
+    from repro.obs import write_json
+
+    write_json(args.slo_out, result.document())
+    print(f"wrote SLO bundle to {args.slo_out}")
+
+
 def command_experiment(args: argparse.Namespace) -> int:
     """Run one experiment id and print its rendered result.
 
@@ -264,6 +314,7 @@ def command_experiment(args: argparse.Namespace) -> int:
     if not (args.metrics_out or args.trace_out or args.sample_every):
         result = EXPERIMENTS[args.id](args)
         print(result.render())
+        _export_slo_bundle(result, args)
         return 0
 
     from repro.obs import runtime as obs_runtime
@@ -276,6 +327,7 @@ def command_experiment(args: argparse.Namespace) -> int:
     ) as cap:
         result = EXPERIMENTS[args.id](args)
     print(result.render())
+    _export_slo_bundle(result, args)
     if args.metrics_out:
         from repro.obs import metrics_set_document, write_json
 
@@ -302,6 +354,29 @@ def command_experiment(args: argparse.Namespace) -> int:
         )
         print(f"wrote traces to {args.trace_out}")
     return 0
+
+
+def _drop_breakdown(registry) -> dict[str, dict[str, int]]:
+    """Engine-wide pipeline drops grouped stream -> reason -> count.
+
+    Reads the ``pipeline_drops_total`` family's ``scope="_total"`` rows
+    (per-database scopes would double-count); the ``shard`` label the
+    merged registry adds on sharded topologies is folded away.
+    """
+    snapshot = registry.snapshot()
+    family = snapshot.get("pipeline_drops_total")
+    streams: dict[str, dict[str, int]] = {}
+    if not isinstance(family, dict):
+        return streams
+    for row in family.get("values", []):
+        labels = row.get("labels", {})
+        if labels.get("scope") != "_total":
+            continue
+        stream = labels.get("stream", "_all")
+        reason = labels.get("reason", "")
+        per_stream = streams.setdefault(stream, {})
+        per_stream[reason] = per_stream.get(reason, 0) + int(row["value"])
+    return streams
 
 
 def command_run(args: argparse.Namespace) -> int:
@@ -344,6 +419,16 @@ def command_run(args: argparse.Namespace) -> int:
     print(f"latency p50/p99.9:  {result.latency_percentile(50) * 1e3:.2f} / "
           f"{result.latency_percentile(99.9) * 1e3:.2f} ms")
     print(f"replicas converged: {client.replicas_converged()}")
+    drops = _drop_breakdown(client.registry)
+    if drops:
+        total = int(sum(sum(per.values()) for per in drops.values()))
+        print(f"pipeline drops:     {total}")
+        for stream in sorted(drops):
+            reasons = ", ".join(
+                f"{reason}={count}"
+                for reason, count in sorted(drops[stream].items())
+            )
+            print(f"  {stream}: {reasons}")
     if client.shards > 1:
         stats = client.stats()
         print(f"cross-shard misses: {stats['cross_shard_misses']} "

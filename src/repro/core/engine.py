@@ -41,7 +41,7 @@ from repro.core.selector import SourceSelector
 from repro.core.size_filter import AdaptiveSizeFilter
 from repro.core.stats import DedupStats
 from repro.index.cuckoo import CuckooFeatureIndex
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import MetricsRegistry, slo_events_family
 from repro.sim.costs import CostModel
 from repro.sketch.features import SketchExtractor
 from repro.util.deprecation import positional_shim
@@ -165,6 +165,11 @@ class DedupEngine:
             saving_sample_cap=self.config.saving_sample_cap,
             source_cache=self.planner.source_cache,
         )
+        #: First-class SLO events (shared family; the cluster feeds
+        #: ``failover_stall`` into the same one). Children are cached so
+        #: the per-insert cost is one dict hit plus a float add.
+        self._slo_events = slo_events_family(self.registry)
+        self._slo_children: dict[tuple[str, str], object] = {}
         #: Per-logical-database statistics (savings samples only kept
         #: globally, to bound memory).
         self.database_stats: dict[str, DedupStats] = {}
@@ -206,6 +211,15 @@ class DedupEngine:
     def index_memory_bytes(self) -> int:
         """Total feature-index memory across database partitions."""
         return sum(index.memory_bytes for index in self._indexes.values())
+
+    def note_slo_event(self, event: str, tenant: str) -> None:
+        """Bump the shared ``slo_events_total{event,tenant}`` counter."""
+        key = (event, tenant)
+        child = self._slo_children.get(key)
+        if child is None:
+            child = self._slo_events.labels(event, tenant)
+            self._slo_children[key] = child
+        child.inc()
 
     def stats_for(self, database: str) -> DedupStats:
         """Per-database statistics (created on first use)."""
@@ -410,6 +424,14 @@ class DedupEngine:
                 for reason, count in sorted(self.stats.drop_reasons.items())
             )
             table += f"\ndrop reasons: {reasons}"
+            by_stream = self.stats.drop_reasons_by_stream
+            if by_stream and set(by_stream) != {"_all"}:
+                for stream in sorted(by_stream):
+                    reasons = ", ".join(
+                        f"{reason}={count}"
+                        for reason, count in sorted(by_stream[stream].items())
+                    )
+                    table += f"\n  drops[{stream}]: {reasons}"
         return table
 
     def index_partitions(self) -> list[tuple[str, CuckooFeatureIndex]]:
@@ -484,6 +506,7 @@ class DedupEngine:
         decision = admission.decide(database)
         admission.note_decision(database, decision)
         if decision == DECISION_DEFER:
+            self.note_slo_event("admission_defer", database)
             return self._defer_record(database, record_id, content, provider)
         drained = self._drain_stream(database, provider)
         result = self._encode_inline(database, record_id, content, provider)
@@ -599,6 +622,9 @@ class DedupEngine:
             oldest = admission.pop_oldest()
             if oldest is None:
                 break
+            # The stalled party is the *inserting* stream (``database``):
+            # its insert blocks while someone else's backlog force-drains.
+            self.note_slo_event("backpressure_stall", database)
             drained.append(self._encode_outofline(*oldest, provider))
         admission.defer(database, record_id, content)
         raw_size = len(content)

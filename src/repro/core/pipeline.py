@@ -180,7 +180,7 @@ class StageStatsObserver(PipelineObserver):
         )
 
     def on_drop(self, stage: str, ctx: EncodeContext, reason: str) -> None:
-        self.stats.note_drop(reason, stage)
+        self.stats.note_drop(reason, stage, ctx.database)
 
 
 class Stage(Protocol):

@@ -158,15 +158,16 @@ class DedupStats:
         )
         self._drops = reg.counter(
             "pipeline_drops_total",
-            "Records leaving the dedup path, by stage and reason",
-            ("scope", "stage", "reason"),
+            "Records leaving the dedup path, by stage, reason, and "
+            "originating tenant/stream",
+            ("scope", "stage", "reason", "stream"),
         )
         # Per-stage children resolved lazily so the projected dicts only
         # contain stages that actually saw traffic (legacy semantics).
         self._stage_in_children: dict[str, object] = {}
         self._stage_out_children: dict[str, object] = {}
         self._stage_cpu_children: dict[str, object] = {}
-        self._drop_children: dict[tuple[str, str], object] = {}
+        self._drop_children: dict[tuple[str, str, str], object] = {}
 
     # -- accumulation (called by the engine/pipeline) ----------------------------
 
@@ -243,12 +244,19 @@ class DedupStats:
                 self._stage_cpu_children[stage] = child
             child.inc(cpu_seconds)
 
-    def note_drop(self, reason: str, stage: str = "unknown") -> None:
-        """Tally one record leaving the dedup path at ``stage``."""
-        key = (stage, reason)
+    def note_drop(
+        self, reason: str, stage: str = "unknown", stream: str = "_all"
+    ) -> None:
+        """Tally one record leaving the dedup path at ``stage``.
+
+        ``stream`` is the tenant/logical database the dropped record
+        belonged to; callers that have no stream context (unit tests,
+        standalone stats) leave the ``"_all"`` default.
+        """
+        key = (stage, reason, stream)
         child = self._drop_children.get(key)
         if child is None:
-            child = self._drops.labels(self.scope, stage, reason)
+            child = self._drops.labels(self.scope, stage, reason, stream)
             self._drop_children[key] = child
         child.inc()
 
@@ -349,6 +357,23 @@ class DedupStats:
             reason = key[2]
             reasons[reason] = reasons.get(reason, 0) + int(value)
         return reasons
+
+    @property
+    def drop_reasons_by_stream(self) -> dict[str, dict[str, int]]:
+        """Tenant/stream → {drop reason → count} (summed over stages).
+
+        The per-stream measurement the sketch-recall roadmap item asks
+        for: a stream whose revisions fork into ``no_candidate`` drops
+        shows up here directly instead of being averaged away.
+        """
+        streams: dict[str, dict[str, int]] = {}
+        for key, value in self._drops.items():
+            if key[0] != self.scope:
+                continue
+            reason, stream = key[2], key[3]
+            per_stream = streams.setdefault(stream, {})
+            per_stream[reason] = per_stream.get(reason, 0) + int(value)
+        return streams
 
     def drops_at_stage(self, stage: str) -> int:
         """Records dropped inside ``stage`` (in minus out)."""

@@ -22,7 +22,13 @@ from repro.db.failover import (
 )
 from repro.db.node import PrimaryNode, SecondaryNode
 from repro.db.replication import DEFAULT_BATCH_BYTES, ReplicationLink
-from repro.obs import MetricsRegistry, TimeSeriesSampler, Tracer
+from repro.obs import (
+    OP_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    TimeSeriesSampler,
+    Tracer,
+    slo_events_family,
+)
 from repro.obs import runtime as obs_runtime
 from repro.sim.clock import SimClock
 from repro.sim.costs import CostModel
@@ -214,6 +220,20 @@ class Cluster:
                 sample_every_ops = cap.sample_ops
         #: Shared metrics registry every layer of this cluster reports to.
         self.registry = registry if registry is not None else MetricsRegistry()
+        #: Per-operation service latency by op kind and tenant (logical
+        #: database) — the distribution every SLO percentile is read
+        #: from. Fine 1-2-5 buckets so interpolated p99/p999 are usable.
+        self._op_latency = self.registry.histogram(
+            "op_latency_seconds",
+            "Client-observed operation service latency by op kind and "
+            "tenant (simulated seconds)",
+            ("op", "tenant"),
+            buckets=OP_LATENCY_BUCKETS_S,
+        )
+        self._op_latency_children: dict[tuple[str, str], object] = {}
+        #: Shared first-class SLO event family (the engine feeds
+        #: admission/backpressure events into the same one).
+        self._slo_events = slo_events_family(self.registry)
         #: Shared sim-clock tracer (disabled unless ``trace=True``);
         #: injectable so shards of one topology trace into one span store.
         self.tracer = (
@@ -451,7 +471,7 @@ class Cluster:
         for index, secondary in enumerate(self.secondaries):
             yield f"secondary{index}", secondary
 
-    def _await_primary(self) -> PrimaryNode:
+    def _await_primary(self, tenant: str = "_cluster") -> PrimaryNode:
         """The current primary, waiting out a promotion if it is down.
 
         The client-transparency half of failover: while the primary is
@@ -460,7 +480,9 @@ class Cluster:
         it elects a replacement — the retried operation then lands on the
         promoted node. With failover disabled, or when no candidate ever
         becomes available, the typed :class:`NodeUnavailableError`
-        surfaces to the caller instead.
+        surfaces to the caller instead. ``tenant`` labels the stall event
+        with the stream whose operation waited (``"_cluster"`` when the
+        caller has no stream context, e.g. a batch spanning streams).
         """
         if self.primary.is_available:
             return self.primary
@@ -468,6 +490,7 @@ class Cluster:
         if not self.config.failover_enabled:
             raise NodeUnavailableError(self.primary.node_name, "primary")
         failover.stalled_ops += 1
+        self._slo_events.labels("failover_stall", tenant).inc()
         interval = self.config.heartbeat_interval_s
         attempts = (
             int(self.config.failover_timeout_s / interval)
@@ -483,7 +506,23 @@ class Cluster:
 
     def _primary_op(self, method: str, *args) -> float:
         """Dispatch one write to the (possibly just-promoted) primary."""
-        return getattr(self._await_primary(), method)(*args)
+        # Single-record writes lead with the database name; the batch
+        # path passes a list and stalls under the cluster-wide label.
+        tenant = (
+            args[0] if args and isinstance(args[0], str) else "_cluster"
+        )
+        return getattr(self._await_primary(tenant), method)(*args)
+
+    def observe_op_latency(
+        self, op: str, tenant: str, latency_s: float
+    ) -> None:
+        """Land one operation's service latency in the SLO histograms."""
+        key = (op, tenant)
+        child = self._op_latency_children.get(key)
+        if child is None:
+            child = self._op_latency.labels(op, tenant)
+            self._op_latency_children[key] = child
+        child.observe(latency_s)
 
     def execute(self, op: Operation) -> float:
         """Run one client operation; returns its latency and advances time."""
@@ -508,6 +547,7 @@ class Cluster:
             else:
                 raise ValueError(f"unknown operation kind {op.kind!r}")
             span.annotate("latency_s", latency)
+            self.observe_op_latency(op.kind, op.database, latency)
             self.clock.advance(latency)
             # Replication the operation triggered belongs in its trace.
             for link in self.links:
@@ -536,6 +576,11 @@ class Cluster:
             )
             self.inserts += len(ops)
             span.annotate("latency_s", latency)
+            # Each batched insert is recorded at its per-record share of
+            # the batch latency, matching how ``run()`` reports them.
+            share = latency / len(ops) if ops else 0.0
+            for op in ops:
+                self.observe_op_latency("insert", op.database, share)
             self.clock.advance(latency)
             for link in self.links:
                 link.maybe_sync()
@@ -572,6 +617,7 @@ class Cluster:
             content, latency = self.read(database, record_id)
             self.reads += 1
             span.annotate("latency_s", latency)
+            self.observe_op_latency("read", database, latency)
             self.clock.advance(latency)
             for link in self.links:
                 link.maybe_sync()
@@ -594,7 +640,7 @@ class Cluster:
         """
         if self.config.read_preference == "primary":
             return self._read_with_repair(
-                self._await_primary(), database, record_id
+                self._await_primary(database), database, record_id
             )
         # Rotate across replicas, skipping any that are down; when every
         # replica is down the primary serves (same as the stale path).
@@ -626,7 +672,7 @@ class Cluster:
         # the primary serves it.
         self.stale_read_fallbacks += 1
         content, primary_latency = self._read_with_repair(
-            self._await_primary(), database, record_id
+            self._await_primary(database), database, record_id
         )
         return content, latency + primary_latency + self.costs.network_time(
             len(content) if content else 64

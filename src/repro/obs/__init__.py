@@ -22,6 +22,7 @@ dragging anything into hot paths.
 from repro.obs.export import (
     METRICS_SET_SCHEMA_VERSION,
     SCHEMA_VERSION,
+    SLO_SCHEMA_VERSION,
     TRACE_SCHEMA_VERSION,
     TRACE_SET_SCHEMA_VERSION,
     check_metrics_payload,
@@ -32,6 +33,7 @@ from repro.obs.export import (
     trace_document,
     trace_set_document,
     validate_metrics_document,
+    validate_slo_document,
     write_json,
     write_metrics_json,
     write_trace_json,
@@ -39,7 +41,11 @@ from repro.obs.export import (
 from repro.obs.registry import (
     BYTE_BUCKETS,
     LATENCY_BUCKETS_S,
+    OP_LATENCY_BUCKETS_S,
+    SLO_EVENT_LABELS,
+    SLO_EVENTS_FAMILY,
     MetricsRegistry,
+    slo_events_family,
 )
 from repro.obs.sampler import TimeSeriesSampler, parse_sample_every
 from repro.obs.tracing import NULL_TRACER, Span, Tracer, TracingObserver
@@ -50,7 +56,11 @@ __all__ = [
     "METRICS_SET_SCHEMA_VERSION",
     "MetricsRegistry",
     "NULL_TRACER",
+    "OP_LATENCY_BUCKETS_S",
     "SCHEMA_VERSION",
+    "SLO_EVENTS_FAMILY",
+    "SLO_EVENT_LABELS",
+    "SLO_SCHEMA_VERSION",
     "Span",
     "TRACE_SCHEMA_VERSION",
     "TRACE_SET_SCHEMA_VERSION",
@@ -62,10 +72,12 @@ __all__ = [
     "metrics_document",
     "metrics_set_document",
     "parse_sample_every",
+    "slo_events_family",
     "to_prometheus_text",
     "trace_document",
     "trace_set_document",
     "validate_metrics_document",
+    "validate_slo_document",
     "write_json",
     "write_metrics_json",
     "write_trace_json",

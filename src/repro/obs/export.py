@@ -39,6 +39,11 @@ METRICS_SET_SCHEMA_VERSION = "repro.metrics-set/v1"
 #: Version tag of a multi-run trace bundle.
 TRACE_SET_SCHEMA_VERSION = "repro.trace-set/v1"
 
+#: Version tag of the SLO report bundle produced by ``experiment slo``:
+#: per-tenant tail latencies, first-class event counts, and the max
+#: sustainable arrival rate per topology scenario.
+SLO_SCHEMA_VERSION = "repro.slo/v1"
+
 
 # -- documents ------------------------------------------------------------------
 
@@ -157,6 +162,11 @@ def check_metrics_payload(payload: object) -> list[str]:
                 found = check_reconciliation(document)
             problems.extend(f"{where}: {problem}" for problem in found)
         return problems
+    if (
+        isinstance(payload, dict)
+        and payload.get("schema") == SLO_SCHEMA_VERSION
+    ):
+        return validate_slo_document(payload)
     problems = validate_metrics_document(payload)
     if problems:
         return problems
@@ -257,6 +267,18 @@ def validate_metrics_document(document: object) -> list[str]:
                     row.get("values"), dict
                 ):
                     errors.append(f"series.samples[{i}] malformed")
+        # events rows are optional (documents predating repro.slo/v1
+        # omit the key entirely), but when present must be well-formed.
+        if isinstance(series, dict) and "events" in series:
+            events = series["events"]
+            if not isinstance(events, list):
+                errors.append("'series.events' must be a list")
+            else:
+                for i, row in enumerate(events):
+                    if not isinstance(row, dict) or not isinstance(
+                        row.get("event"), str
+                    ):
+                        errors.append(f"series.events[{i}] malformed")
     metrics = document.get("metrics")
     if not isinstance(metrics, dict):
         return errors
@@ -310,6 +332,95 @@ def validate_metrics_document(document: object) -> list[str]:
             else:
                 if not isinstance(row.get("value"), (int, float)):
                     errors.append(f"{spot}.value must be numeric")
+    return errors
+
+
+_SLO_QUANTILE_KEYS = ("p50_s", "p99_s", "p999_s")
+
+
+def validate_slo_document(document: object) -> list[str]:
+    """Structural validation of a ``repro.slo/v1`` bundle.
+
+    Checks the scenario rows (topology, rates, per-tenant quantiles,
+    event counts) and — when a scenario embeds a full metrics document —
+    re-runs :func:`validate_metrics_document` plus
+    :func:`check_reconciliation` on it, prefixing any problems with the
+    scenario label. Quantiles may be ``null``: that is the JSON spelling
+    of "rank fell in the overflow bucket" (``math.inf`` has no portable
+    JSON encoding) or "tenant issued no ops of that kind".
+
+    Returns a list of human-readable problems; empty means the bundle
+    conforms.
+    """
+    errors: list[str] = []
+    if not isinstance(document, dict):
+        return ["document is not a JSON object"]
+    schema = document.get("schema")
+    if schema != SLO_SCHEMA_VERSION:
+        errors.append(f"schema is {schema!r}, expected {SLO_SCHEMA_VERSION!r}")
+    if not isinstance(document.get("meta"), dict):
+        errors.append("'meta' missing or not an object")
+    scenarios = document.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        errors.append("'scenarios' missing, not a list, or empty")
+        return errors
+    for index, scenario in enumerate(scenarios):
+        where = f"scenarios[{index}]"
+        if not isinstance(scenario, dict):
+            errors.append(f"{where} is not an object")
+            continue
+        label = scenario.get("label")
+        if isinstance(label, str) and label:
+            where = f"scenarios[{index}] ({label})"
+        else:
+            errors.append(f"{where}.label missing or empty")
+        topology = scenario.get("topology")
+        if not isinstance(topology, dict):
+            errors.append(f"{where}.topology missing or not an object")
+        elif not isinstance(topology.get("shards"), int):
+            errors.append(f"{where}.topology.shards must be an integer")
+        if not isinstance(scenario.get("base_rate_ops_s"), (int, float)):
+            errors.append(f"{where}.base_rate_ops_s must be numeric")
+        sustainable = scenario.get("max_sustainable_rate_ops_s")
+        if sustainable is not None and not isinstance(
+            sustainable, (int, float)
+        ):
+            errors.append(
+                f"{where}.max_sustainable_rate_ops_s must be numeric or null"
+            )
+        events = scenario.get("events")
+        if not isinstance(events, dict) or not all(
+            isinstance(value, (int, float)) for value in events.values()
+        ):
+            errors.append(
+                f"{where}.events must map event names to numeric counts"
+            )
+        tenants = scenario.get("tenants")
+        if not isinstance(tenants, dict) or not tenants:
+            errors.append(f"{where}.tenants missing, not an object, or empty")
+        else:
+            for name, row in tenants.items():
+                spot = f"{where}.tenants[{name!r}]"
+                if not isinstance(row, dict):
+                    errors.append(f"{spot} is not an object")
+                    continue
+                if not isinstance(row.get("ops"), int):
+                    errors.append(f"{spot}.ops must be an integer")
+                for key in _SLO_QUANTILE_KEYS:
+                    value = row.get(key, "absent")
+                    if value is not None and not isinstance(
+                        value, (int, float)
+                    ):
+                        errors.append(f"{spot}.{key} must be numeric or null")
+        metrics = scenario.get("metrics")
+        if metrics is not None:
+            found = validate_metrics_document(metrics)
+            if not found:
+                found = check_reconciliation(metrics)
+            errors.extend(f"{where}: {problem}" for problem in found)
+    comparisons = document.get("comparisons")
+    if comparisons is not None and not isinstance(comparisons, list):
+        errors.append("'comparisons' must be null or a list")
     return errors
 
 

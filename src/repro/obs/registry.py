@@ -22,11 +22,34 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Callable, Iterable, Mapping
 
+from repro.util.stats import histogram_quantile
+
 #: Exponential byte-size buckets (powers of four from 64 B to 256 MB).
 BYTE_BUCKETS: tuple[float, ...] = tuple(64 * 4**k for k in range(12))
 
 #: Exponential latency buckets (decades from 1 µs to 100 s).
 LATENCY_BUCKETS_S: tuple[float, ...] = tuple(10.0**k for k in range(-6, 3))
+
+#: Fine-grained latency buckets for per-operation tail estimation: a
+#: 1-2-5 series from 1 µs to 100 s (25 buckets). The decade-wide
+#: :data:`LATENCY_BUCKETS_S` are fine for coarse attribution but far too
+#: wide for interpolated p99/p999 estimates; three buckets per decade
+#: keep the worst-case interpolation error within a factor of ~2.5 of
+#: the true quantile.
+OP_LATENCY_BUCKETS_S: tuple[float, ...] = tuple(
+    mantissa * 10.0**exponent
+    for exponent in range(-6, 2)
+    for mantissa in (1.0, 2.0, 5.0)
+) + (100.0,)
+
+#: Family name of the first-class SLO event counter (see
+#: :func:`slo_events_family`).
+SLO_EVENTS_FAMILY = "slo_events_total"
+
+#: Label names of the SLO event family: the event kind
+#: (``admission_defer`` / ``backpressure_stall`` / ``failover_stall``)
+#: and the tenant (stream/database) that experienced it.
+SLO_EVENT_LABELS: tuple[str, ...] = ("event", "tenant")
 
 #: Instrument kinds understood by the registry and the exporters.
 KINDS = ("counter", "gauge", "histogram")
@@ -88,6 +111,15 @@ class Histogram:
         self.bucket_counts[bisect_left(self.bounds, value)] += 1
         self.sum += value
         self.count += 1
+
+    def quantile(self, q: float) -> float:
+        """Interpolated ``q`` quantile (0–1) of the recorded distribution.
+
+        Delegates to :func:`repro.util.stats.histogram_quantile`: linear
+        interpolation within the target bucket, ``math.inf`` when the
+        rank lands in the overflow bucket, ``ValueError`` when empty.
+        """
+        return histogram_quantile(self.bounds, self.bucket_counts, q)
 
 
 #: A collector produces lazily evaluated values for a family:
@@ -154,6 +186,10 @@ class InstrumentFamily:
     def observe(self, value: float) -> None:
         """Observe into the unlabeled histogram child."""
         self.labels().observe(value)
+
+    def quantile(self, q: float) -> float:
+        """Interpolated quantile of the unlabeled histogram child."""
+        return self.labels().quantile(q)
 
     def collect(self, fn: CollectorFn) -> None:
         """Register a lazy collector evaluated at snapshot time.
@@ -300,3 +336,22 @@ class MetricsRegistry:
     def snapshot(self) -> dict:
         """``{name: family_snapshot}`` for every family (JSON-ready)."""
         return {family.name: family.snapshot() for family in self.families()}
+
+
+def slo_events_family(registry: MetricsRegistry) -> InstrumentFamily:
+    """The shared first-class SLO event counter on ``registry``.
+
+    One family, fed from several layers — the dedup engine increments
+    ``admission_defer`` and ``backpressure_stall``, the cluster
+    increments ``failover_stall`` — so every component that wants to
+    emit events gets the identical label contract through this helper.
+    The :class:`~repro.obs.sampler.TimeSeriesSampler` watches this
+    family by name and turns increments into timestamped event rows.
+    """
+    return registry.counter(
+        SLO_EVENTS_FAMILY,
+        "First-class SLO events per tenant: admission deferrals, "
+        "backpressure stalls (deferred records force-drained inline), "
+        "failover-stalled client operations",
+        SLO_EVENT_LABELS,
+    )

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import re
 
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import SLO_EVENTS_FAMILY, MetricsRegistry
 
 _SAMPLE_EVERY_RE = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*(s|sec|ops?)\s*$")
 
@@ -69,9 +69,17 @@ class TimeSeriesSampler:
         self.every_ops = every_ops
         self.metrics = list(metrics) if metrics is not None else None
         self.samples: list[dict] = []
+        #: Timestamped first-class event rows. Whenever a child of the
+        #: ``slo_events_total`` family advanced since the last check,
+        #: one row ``{t_s, ops, event, tenant, count}`` is appended —
+        #: checked on every :meth:`note_op` (not just on sampling
+        #: cadence), so events carry per-operation time resolution even
+        #: with a sparse sample trigger.
+        self.events: list[dict] = []
         self.ops = 0
         self._last_sample_t = clock.now if clock is not None else 0.0
         self._last_sample_ops = 0
+        self._event_levels: dict[tuple[str, ...], float] = {}
 
     def _row(self) -> dict:
         values: dict[str, float] = {}
@@ -87,6 +95,26 @@ class TimeSeriesSampler:
             "values": values,
         }
 
+    def _note_events(self) -> None:
+        """Record one event row per ``slo_events_total`` child that moved."""
+        family = self.registry.get(SLO_EVENTS_FAMILY)
+        if family is None:
+            return
+        now = self.clock.now if self.clock is not None else 0.0
+        for key, value in family.items():
+            before = self._event_levels.get(key, 0.0)
+            if value > before:
+                self._event_levels[key] = value
+                self.events.append(
+                    {
+                        "t_s": now,
+                        "ops": self.ops,
+                        "event": key[0] if key else "",
+                        "tenant": key[1] if len(key) > 1 else "",
+                        "count": value - before,
+                    }
+                )
+
     def sample(self) -> dict:
         """Record one row now, unconditionally, and return it."""
         row = self._row()
@@ -98,9 +126,12 @@ class TimeSeriesSampler:
     def note_op(self) -> dict | None:
         """Count one operation; sample if a trigger fired.
 
-        Returns the new row when one was recorded, else None.
+        Event counters are checked on *every* call (cheap: one small
+        family's items), the full scalar snapshot only on the sampling
+        cadence. Returns the new row when one was recorded, else None.
         """
         self.ops += 1
+        self._note_events()
         due = (
             self.every_ops is not None
             and self.ops - self._last_sample_ops >= self.every_ops
@@ -111,13 +142,15 @@ class TimeSeriesSampler:
 
     def finalize(self) -> None:
         """Record a closing row if anything happened since the last one."""
+        self._note_events()
         if self.ops != self._last_sample_ops or not self.samples:
             self.sample()
 
     def to_dict(self) -> dict:
-        """JSON-ready form: trigger config plus the recorded rows."""
+        """JSON-ready form: trigger config, recorded rows, event rows."""
         return {
             "every_seconds": self.every_seconds,
             "every_ops": self.every_ops,
             "samples": list(self.samples),
+            "events": list(self.events),
         }

@@ -70,6 +70,53 @@ def percentile(values: Sequence[float], pct: float) -> float:
     return ordered[low] * (1.0 - frac) + ordered[high] * frac
 
 
+def histogram_quantile(
+    bounds: Sequence[float], bucket_counts: Sequence[int], q: float
+) -> float:
+    """Estimate the ``q`` quantile (0–1) of a fixed-bucket histogram.
+
+    ``bounds`` are inclusive upper bucket bounds; ``bucket_counts`` has
+    one extra trailing entry — the overflow bucket. The estimate
+    interpolates linearly within the bucket holding the target rank
+    (the first bucket's lower edge is 0), matching the
+    ``histogram_quantile`` convention of Prometheus.
+
+    Overflow semantics are explicit: when the target rank falls in the
+    overflow bucket there is no upper edge to interpolate against, so
+    the result is ``math.inf`` — callers decide how to render "beyond
+    the last bucket" rather than receiving a silently clamped value.
+
+    Raises:
+        ValueError: if ``q`` is outside [0, 1], the histogram is empty,
+            or ``bucket_counts`` does not have ``len(bounds) + 1``
+            entries.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile {q} outside [0, 1]")
+    if len(bucket_counts) != len(bounds) + 1:
+        raise ValueError(
+            f"bucket_counts needs len(bounds)+1 = {len(bounds) + 1} "
+            f"entries, got {len(bucket_counts)}"
+        )
+    total = sum(bucket_counts)
+    if total <= 0:
+        raise ValueError("quantile of empty histogram")
+    target = q * total
+    cumulative = 0.0
+    for index, count in enumerate(bucket_counts):
+        if count <= 0:
+            continue
+        if cumulative + count >= target:
+            if index == len(bounds):
+                return math.inf
+            lower = bounds[index - 1] if index > 0 else 0.0
+            upper = bounds[index]
+            fraction = (target - cumulative) / count
+            return lower + fraction * (upper - lower)
+        cumulative += count
+    return math.inf  # pragma: no cover — loop always hits the target
+
+
 def cdf_points(values: Iterable[float]) -> list[tuple[float, float]]:
     """Return ``(value, cumulative_fraction)`` pairs for an empirical CDF."""
     ordered = sorted(values)

@@ -35,6 +35,17 @@ def make_workload(name: str, seed: int = 1, target_bytes: int = 2_000_000) -> Wo
     raise ValueError(f"unknown workload {name!r}")
 
 
+from repro.workloads.tenants import (  # noqa: E402 — uses make_workload
+    ArrivalProcess,
+    OpenLoopDriver,
+    TenantSpec,
+    TimedOperation,
+    compose_tenants,
+    derive_seed,
+    parse_tenants,
+    tenant_operations,
+)
+
 __all__ = [
     "Operation",
     "Workload",
@@ -46,4 +57,12 @@ __all__ = [
     "ALL_WORKLOADS",
     "EXTRA_WORKLOADS",
     "make_workload",
+    "ArrivalProcess",
+    "OpenLoopDriver",
+    "TenantSpec",
+    "TimedOperation",
+    "compose_tenants",
+    "derive_seed",
+    "parse_tenants",
+    "tenant_operations",
 ]

@@ -1,0 +1,138 @@
+"""SLO sweep: bundle shape, validation, determinism, defer benefit."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.bench.slo_exp import SloScenario, run_probe, slo_experiment
+from repro.obs.export import SLO_SCHEMA_VERSION, check_metrics_payload
+from repro.workloads.tenants import parse_tenants
+
+TENANTS = "stackexchange:40,oltp:40"
+TENANT_BYTES = 60_000
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return slo_experiment(
+        parse_tenants(TENANTS, target_bytes=TENANT_BYTES),
+        seed=7,
+        shard_counts=(1,),
+        rate_search=False,
+    )
+
+
+class TestSweepBundle:
+    def test_bundle_validates_clean(self, sweep):
+        document = sweep.document()
+        assert document["schema"] == SLO_SCHEMA_VERSION
+        assert check_metrics_payload(document) == []
+
+    def test_scenarios_cover_the_matrix(self, sweep):
+        labels = [row["label"] for row in sweep.scenarios]
+        assert labels == ["shards=1/inline", "shards=1/hybrid"]
+
+    def test_per_tenant_quantiles_present(self, sweep):
+        for row in sweep.scenarios:
+            for name in ("stackexchange", "oltp"):
+                tenant = row["tenants"][name]
+                assert tenant["ops"] > 0
+                for key in ("p50_s", "p99_s", "p999_s"):
+                    value = tenant[key]
+                    assert value is None or value > 0.0
+
+    def test_embedded_metrics_document_per_scenario(self, sweep):
+        for row in sweep.scenarios:
+            assert row["metrics"] is not None
+            assert check_metrics_payload(row["metrics"]) == []
+
+    def test_hybrid_records_defer_events(self, sweep):
+        by_label = {row["label"]: row for row in sweep.scenarios}
+        assert by_label["shards=1/hybrid"]["events"].get(
+            "admission_defer", 0
+        ) > 0
+        assert by_label["shards=1/inline"]["events"].get(
+            "admission_defer", 0
+        ) == 0
+
+    def test_defer_lowers_deferred_tenant_insert_p99(self, sweep):
+        (comparison,) = sweep.comparisons
+        assert comparison["tenant"] == "oltp"
+        assert comparison["hybrid_insert_p99_s"] < comparison[
+            "inline_insert_p99_s"
+        ]
+        assert comparison["improvement_pct"] > 0.0
+
+    def test_defer_lowers_cpu_stall(self, sweep):
+        (comparison,) = sweep.comparisons
+        assert comparison["hybrid_cpu_stall_s"] < comparison[
+            "inline_cpu_stall_s"
+        ]
+
+    def test_render_mentions_the_comparison(self, sweep):
+        text = sweep.render()
+        assert "max rate" in text
+        assert "better with defer" in text
+
+
+class TestRateSearch:
+    def test_unsustainable_base_searches_down(self):
+        tenants = parse_tenants(
+            "stackexchange:400,oltp:400", target_bytes=TENANT_BYTES
+        )
+        result = slo_experiment(
+            tenants, seed=7, shard_counts=(1,),
+            admission_modes=("inline",), slo_p99_s=0.010,
+            doublings=2, bisections=1,
+        )
+        (row,) = result.scenarios
+        max_rate = row["max_sustainable_rate_ops_s"]
+        assert max_rate is None or max_rate < row["base_rate_ops_s"]
+        assert row["search_probes"]
+        assert all("metrics" not in p for p in row["search_probes"])
+
+
+class TestProbe:
+    def test_probe_shape(self):
+        tenants = parse_tenants("oltp:40", target_bytes=20_000)
+        probe = run_probe(
+            tenants, SloScenario(shards=1, admission_mode="inline"),
+            seed=7, rate_scale=1.0, slo_p99_s=0.060,
+        )
+        assert probe["operations"] > 0
+        assert probe["duration_s"] > 0
+        assert probe["rate_ops_s"] == 40.0
+        assert isinstance(probe["sustainable"], bool)
+
+
+class TestDeterminism:
+    def _export(self, tmp_path, hashseed, name):
+        out = tmp_path / name
+        env = dict(os.environ, PYTHONHASHSEED=hashseed)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.abspath("src")] + env.get("PYTHONPATH", "").split(
+                os.pathsep
+            )
+        ).rstrip(os.pathsep)
+        subprocess.run(
+            [
+                sys.executable, "-m", "repro", "experiment", "slo",
+                "--tenants", "stackexchange:40,oltp:40",
+                "--tenant-bytes", "40000",
+                "--slo-shards", "1",
+                "--no-rate-search",
+                "--seed", "11",
+                "--slo-out", str(out),
+            ],
+            check=True, env=env, capture_output=True,
+        )
+        return out.read_bytes()
+
+    def test_bundle_bytes_identical_across_hash_seeds(self, tmp_path):
+        first = self._export(tmp_path, "0", "a.json")
+        second = self._export(tmp_path, "1", "b.json")
+        assert first == second
+        assert json.loads(first)["schema"] == SLO_SCHEMA_VERSION

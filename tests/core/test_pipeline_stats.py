@@ -236,3 +236,38 @@ def test_negative_cap_behaves_like_unbounded(bad_cap):
     for _ in range(50):
         stats.record_insert(raw_size=10, oplog_size=5, ideal_stored=5, deduped=True)
     assert len(stats.saving_samples) == 50
+
+
+def test_drops_carry_the_stream_label(document):
+    engine = make_engine()
+    provider = DictProvider()
+    insert(engine, provider, "a/1", document, database="tenant_a")
+    insert(engine, provider, "b/1", document + b"!", database="tenant_b")
+    by_stream = engine.stats.drop_reasons_by_stream
+    assert by_stream["tenant_a"] == {"no_candidate": 1}
+    assert by_stream["tenant_b"] == {"no_candidate": 1}
+    # The folded view is the per-stream sum.
+    assert engine.stats.drop_reasons == {"no_candidate": 2}
+
+
+def test_stream_label_lands_in_the_registry(document):
+    engine = make_engine()
+    provider = DictProvider()
+    insert(engine, provider, "a/1", document, database="tenant_a")
+    rows = engine.stats.registry.snapshot()["pipeline_drops_total"]["values"]
+    streams = {
+        row["labels"]["stream"]
+        for row in rows
+        if row["labels"]["scope"] == "_total"
+    }
+    assert streams == {"tenant_a"}
+
+
+def test_describe_pipeline_breaks_out_streams(document):
+    engine = make_engine()
+    provider = DictProvider()
+    insert(engine, provider, "a/1", document, database="tenant_a")
+    insert(engine, provider, "b/1", document + b"?", database="tenant_b")
+    text = engine.describe_pipeline()
+    assert "drops[tenant_a]" in text
+    assert "drops[tenant_b]" in text

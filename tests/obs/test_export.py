@@ -5,6 +5,7 @@ import json
 from repro.obs.export import (
     METRICS_SET_SCHEMA_VERSION,
     SCHEMA_VERSION,
+    SLO_SCHEMA_VERSION,
     TRACE_SCHEMA_VERSION,
     check_metrics_payload,
     check_reconciliation,
@@ -14,9 +15,10 @@ from repro.obs.export import (
     trace_document,
     trace_set_document,
     validate_metrics_document,
+    validate_slo_document,
     write_metrics_json,
 )
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import MetricsRegistry, slo_events_family
 from repro.obs.sampler import TimeSeriesSampler
 from repro.obs.tracing import Tracer
 
@@ -222,3 +224,81 @@ class TestBundles:
         assert len(document["roots"]) == 1
         bundle = trace_set_document([("run-1", tracer)])
         assert bundle["runs"][0]["label"] == "run-1"
+
+
+def _minimal_slo_document(**overrides):
+    document = {
+        "schema": SLO_SCHEMA_VERSION,
+        "meta": {"seed": 7, "slo_p99_s": 0.06},
+        "scenarios": [
+            {
+                "label": "shards=1/inline",
+                "topology": {"shards": 1, "admission_mode": "inline"},
+                "base_rate_ops_s": 120.0,
+                "max_sustainable_rate_ops_s": 120.0,
+                "events": {"admission_defer": 0},
+                "tenants": {
+                    "oltp": {
+                        "ops": 10,
+                        "p50_s": 0.004,
+                        "p99_s": 0.04,
+                        "p999_s": None,
+                    }
+                },
+            }
+        ],
+        "comparisons": None,
+    }
+    document.update(overrides)
+    return document
+
+
+class TestSloValidation:
+    def test_minimal_bundle_passes(self):
+        assert validate_slo_document(_minimal_slo_document()) == []
+        assert check_metrics_payload(_minimal_slo_document()) == []
+
+    def test_dispatch_by_schema(self):
+        problems = check_metrics_payload({"schema": "nope/v9"})
+        assert problems and "schema" in problems[0]
+
+    def test_missing_scenarios_rejected(self):
+        problems = validate_slo_document(
+            _minimal_slo_document(scenarios=[])
+        )
+        assert problems
+
+    def test_non_numeric_quantile_rejected(self):
+        document = _minimal_slo_document()
+        document["scenarios"][0]["tenants"]["oltp"]["p99_s"] = "slow"
+        assert validate_slo_document(document)
+
+    def test_null_max_rate_allowed(self):
+        document = _minimal_slo_document()
+        document["scenarios"][0]["max_sustainable_rate_ops_s"] = None
+        assert validate_slo_document(document) == []
+
+    def test_embedded_metrics_revalidated_with_prefix(self):
+        document = _minimal_slo_document()
+        document["scenarios"][0]["metrics"] = {"schema": "bogus"}
+        problems = validate_slo_document(document)
+        assert problems
+        assert any("shards=1/inline" in problem for problem in problems)
+
+    def test_series_event_rows_validated(self):
+        reg = MetricsRegistry()
+        events = slo_events_family(reg)
+        sampler = TimeSeriesSampler(reg, every_ops=1)
+        events.labels("admission_defer", "oltp").inc()
+        sampler.note_op()
+        document = metrics_document(reg, sampler)
+        assert validate_metrics_document(document) == []
+        assert document["series"]["events"][0]["event"] == "admission_defer"
+
+    def test_malformed_series_events_rejected(self):
+        reg = MetricsRegistry()
+        sampler = TimeSeriesSampler(reg, every_ops=1)
+        sampler.note_op()
+        document = metrics_document(reg, sampler)
+        document["series"]["events"] = [{"count": 1}]  # no "event" key
+        assert validate_metrics_document(document)

@@ -1,11 +1,16 @@
 """Metrics registry: instruments, labels, collectors, snapshots."""
 
+import math
+
 import pytest
 
 from repro.obs.registry import (
     BYTE_BUCKETS,
     LATENCY_BUCKETS_S,
+    OP_LATENCY_BUCKETS_S,
+    SLO_EVENTS_FAMILY,
     MetricsRegistry,
+    slo_events_family,
 )
 
 
@@ -146,3 +151,43 @@ class TestSnapshot:
         reg.counter("zz_total", "z")
         reg.counter("aa_total", "a")
         assert [f.name for f in reg.families()] == ["aa_total", "zz_total"]
+
+
+class TestOpLatencyInstruments:
+    def test_op_latency_buckets_cover_microseconds_to_seconds(self):
+        assert OP_LATENCY_BUCKETS_S[0] == pytest.approx(1e-6)
+        assert OP_LATENCY_BUCKETS_S[-1] == 100.0
+        assert list(OP_LATENCY_BUCKETS_S) == sorted(OP_LATENCY_BUCKETS_S)
+
+    def test_histogram_quantile_delegates(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram(
+            "op_latency_seconds", "latency", buckets=(0.001, 0.01, 0.1)
+        )
+        for _ in range(99):
+            hist.observe(0.005)
+        hist.observe(0.05)
+        assert 0.001 < hist.quantile(0.5) <= 0.01
+        assert 0.01 < hist.quantile(0.999) <= 0.1
+
+    def test_histogram_quantile_overflow_is_inf(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("h_seconds", "h", buckets=(1.0,))
+        hist.observe(5.0)
+        assert math.isinf(hist.quantile(0.99))
+
+    def test_slo_events_family_is_shared(self):
+        reg = MetricsRegistry()
+        first = slo_events_family(reg)
+        second = slo_events_family(reg)
+        assert first is second
+        first.labels("admission_defer", "oltp").inc()
+        assert reg.total(SLO_EVENTS_FAMILY) == 1
+
+    def test_slo_events_labels(self):
+        reg = MetricsRegistry()
+        family = slo_events_family(reg)
+        family.labels("failover_stall", "wiki").inc(3)
+        ((key, value),) = family.items()
+        assert key == ("failover_stall", "wiki")
+        assert value == 3

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import MetricsRegistry, slo_events_family
 from repro.obs.sampler import TimeSeriesSampler, parse_sample_every
 from repro.sim.clock import SimClock
 
@@ -77,3 +77,44 @@ class TestTriggers:
         assert body["every_ops"] == 2
         assert body["every_seconds"] is None
         assert len(body["samples"]) == 1
+
+
+class TestSloEventRows:
+    def _sampler_with_events(self):
+        reg = MetricsRegistry()
+        events = slo_events_family(reg)
+        sampler = TimeSeriesSampler(reg, every_ops=100)
+        return reg, events, sampler
+
+    def test_event_increment_becomes_row(self):
+        _reg, events, sampler = self._sampler_with_events()
+        events.labels("admission_defer", "oltp").inc(3)
+        sampler.note_op()
+        (row,) = sampler.events
+        assert row["event"] == "admission_defer"
+        assert row["tenant"] == "oltp"
+        assert row["count"] == 3
+
+    def test_only_deltas_are_recorded(self):
+        _reg, events, sampler = self._sampler_with_events()
+        events.labels("backpressure_stall", "wiki").inc()
+        sampler.note_op()
+        sampler.note_op()  # no new events since the last op
+        assert len(sampler.events) == 1
+        events.labels("backpressure_stall", "wiki").inc(2)
+        sampler.note_op()
+        assert len(sampler.events) == 2
+        assert sampler.events[-1]["count"] == 2
+
+    def test_finalize_flushes_trailing_events(self):
+        _reg, events, sampler = self._sampler_with_events()
+        events.labels("failover_stall", "t1").inc()
+        sampler.finalize()
+        assert [row["event"] for row in sampler.events] == ["failover_stall"]
+
+    def test_to_dict_includes_events(self):
+        _reg, events, sampler = self._sampler_with_events()
+        events.labels("admission_defer", "t").inc()
+        sampler.finalize()
+        body = sampler.to_dict()
+        assert body["events"][0]["tenant"] == "t"

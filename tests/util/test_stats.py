@@ -6,7 +6,13 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.util.stats import RunningStats, cdf_points, percentile, weighted_cdf_points
+from repro.util.stats import (
+    RunningStats,
+    cdf_points,
+    histogram_quantile,
+    percentile,
+    weighted_cdf_points,
+)
 
 
 class TestRunningStats:
@@ -117,3 +123,51 @@ class TestCdf:
         fractions = [fraction for _, fraction in points]
         assert fractions == sorted(fractions)
         assert math.isclose(fractions[-1], 1.0)
+
+
+class TestHistogramQuantile:
+    BOUNDS = (1.0, 2.0, 5.0)
+
+    def test_exact_bucket_boundary(self):
+        # All mass in the (1, 2] bucket: q=1.0 lands exactly on the
+        # bucket's upper bound, q=0.0 on its lower bound.
+        counts = [0, 10, 0, 0]
+        assert histogram_quantile(self.BOUNDS, counts, 1.0) == 2.0
+        assert histogram_quantile(self.BOUNDS, counts, 0.0) == 1.0
+
+    def test_single_bucket_mass_interpolates(self):
+        counts = [0, 100, 0, 0]
+        # Median of a bucket is its linear midpoint.
+        assert histogram_quantile(self.BOUNDS, counts, 0.5) == pytest.approx(1.5)
+        assert histogram_quantile(self.BOUNDS, counts, 0.25) == pytest.approx(1.25)
+
+    def test_first_bucket_lower_edge_is_zero(self):
+        counts = [4, 0, 0, 0]
+        assert histogram_quantile(self.BOUNDS, counts, 0.5) == pytest.approx(0.5)
+
+    def test_overflow_bucket_returns_inf(self):
+        # 1% of mass beyond the last bound: p999 has no finite estimate.
+        counts = [0, 990, 0, 10]
+        assert math.isinf(histogram_quantile(self.BOUNDS, counts, 0.999))
+        # ... but p50 is still finite.
+        assert math.isfinite(histogram_quantile(self.BOUNDS, counts, 0.5))
+
+    def test_empty_histogram_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(self.BOUNDS, [0, 0, 0, 0], 0.5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(self.BOUNDS, [1, 2], 0.5)
+
+    def test_quantile_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            histogram_quantile(self.BOUNDS, [1, 0, 0, 0], 1.5)
+
+    def test_quantiles_monotone_in_q(self):
+        counts = [3, 7, 11, 0]
+        values = [
+            histogram_quantile(self.BOUNDS, counts, q)
+            for q in (0.0, 0.25, 0.5, 0.75, 0.99, 1.0)
+        ]
+        assert values == sorted(values)
