@@ -5,7 +5,9 @@ raw records) at near-flat index memory; trad-dedup's index memory grows
 linearly with unique data. This is §2.2's scaling argument, measured.
 """
 
-from repro.bench.scale import scale_sweep
+import os
+
+from repro.bench.scale import budget_probe, index_memory_sweep, scale_sweep
 
 
 def test_scale_trends(once):
@@ -28,3 +30,42 @@ def test_scale_trends(once):
         dbdedup_efficiency = row.dbdedup_ratio / max(1, row.dbdedup_index_bytes)
         trad_efficiency = row.trad_ratio / max(1, row.trad_index_bytes)
         assert dbdedup_efficiency > trad_efficiency
+
+
+def test_index_memory_curve(once):
+    """Tiered budgets squeeze the hot tier without giving up dedup ratio.
+
+    The acceptance bar for the tiered index: at every budget fraction the
+    dedup ratio stays within 5% of the unbounded cuckoo baseline while
+    the resident hot tier honors — and shrinks with — its byte budget.
+    """
+    result = once(index_memory_sweep, "wikipedia", target_bytes=1_500_000,
+                  budget_fractions=(0.5, 0.25, 0.125))
+    print()
+    print(result.render())
+
+    baseline = result.baseline
+    tiered = result.rows[1:]
+    for row in tiered:
+        assert row.dedup_ratio >= baseline.dedup_ratio * 0.95, row.label
+        assert row.hot_bytes <= row.hot_bytes_budget, row.label
+        assert row.demotions > 0, row.label
+    # Squeezing the budget monotonically shrinks the resident hot tier.
+    for tighter, looser in zip(tiered[1:], tiered):
+        assert tighter.hot_bytes <= looser.hot_bytes
+
+
+def test_budget_probe_holds_hot_bytes(once):
+    """Synthetic feature stream: hot bytes never exceed the budget.
+
+    Defaults to 2·10⁵ features for local runs; CI's index-smoke job sets
+    ``INDEX_SMOKE_FEATURES=10000000`` to run the paper-scale probe.
+    """
+    features = int(os.environ.get("INDEX_SMOKE_FEATURES", "200000"))
+    result = once(budget_probe, features=features)
+    print()
+    print(result.render())
+
+    assert result.peak_hot_bytes <= result.hot_bytes_budget
+    assert result.demotions > 0
+    assert result.cold_bytes > 0

@@ -15,10 +15,12 @@ see ``docs/API.md``.
 from repro.api.client import DedupClient, open_cluster
 from repro.api.spec import ClusterSpec
 from repro.db.errors import NodeUnavailableError
+from repro.index.spec import IndexSpec
 
 __all__ = [
     "ClusterSpec",
     "DedupClient",
+    "IndexSpec",
     "NodeUnavailableError",
     "open_cluster",
 ]

@@ -236,6 +236,58 @@ class DedupClient:
             }
         return {"shards": shards}
 
+    def index_report(self) -> dict:
+        """Per-shard feature-index snapshot.
+
+        For every shard: the effective index kind, and per database
+        partition the tier occupancy (entries, bytes, budget), amortized
+        bytes per live record, the lookup outcome split (hot / cold /
+        miss), and the cold-tier false-positive counter. Cuckoo
+        partitions report the same shape with an empty cold tier.
+        """
+        shards = {}
+        for index, primary in enumerate(self._primaries()):
+            engine = primary.engine
+            if engine is None:
+                shards[index] = {"kind": None}
+                continue
+            partitions = {}
+            for database, part in sorted(engine.index_partitions()):
+                report = getattr(part, "tier_report", None)
+                if report is not None:
+                    body = report()
+                else:
+                    body = {
+                        "kind": "cuckoo",
+                        "hot_entries": len(part),
+                        "hot_bytes": part.memory_bytes,
+                        "hot_bytes_budget": None,
+                        "cold_records": 0,
+                        "cold_bands_materialized": 0,
+                        "cold_bytes": 0,
+                        "lookups": part.lookups,
+                        "hot_hits": part.hot_hits,
+                        "cold_hits": 0,
+                        "misses": part.misses,
+                        "cold_false_positives": 0,
+                        "demotions": 0,
+                        "promotions": 0,
+                    }
+                live = len(
+                    engine._partition_records.get(database, ())
+                )
+                body["bytes_per_record"] = (
+                    part.memory_bytes / live if live else 0.0
+                )
+                partitions[database] = body
+            shards[index] = {
+                "kind": engine.index_spec.kind,
+                "maintenance_cpu_seconds":
+                    engine.index_maintenance_cpu_seconds,
+                "partitions": partitions,
+            }
+        return {"shards": shards}
+
     # -- health ---------------------------------------------------------------
 
     def stats(self) -> dict:

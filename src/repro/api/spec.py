@@ -15,6 +15,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.config import DedupConfig
 from repro.db.cluster import ClusterConfig
+from repro.index.spec import IndexSpec
 from repro.db.failover import (
     DEFAULT_FAILOVER_TIMEOUT_S,
     DEFAULT_HEARTBEAT_INTERVAL_S,
@@ -38,6 +39,14 @@ class ClusterSpec:
     Attributes:
         dedup: dbDedup engine parameters (defaults to :class:`DedupConfig`).
         dedup_enabled: False for the no-dedup baselines.
+        index: the feature-index description
+            (:class:`~repro.index.spec.IndexSpec`): kind (``"cuckoo"``
+            or ``"tiered"``), geometry, and the tiered memory knobs
+            (``hot_bytes_budget`` / ``cold_fpp`` / ``promotion_hits``).
+            None keeps ``dedup``'s index configuration (which itself
+            defaults to an unbounded cuckoo index). This is the
+            sanctioned way to configure the index — the flat
+            ``DedupConfig`` knobs it replaces are deprecated.
         admission_mode: convenience override of
             ``dedup.admission_mode`` — ``"inline"``, ``"hybrid"`` or
             ``"governor"``; None keeps the dedup config's value.
@@ -84,6 +93,7 @@ class ClusterSpec:
 
     dedup: DedupConfig = field(default_factory=DedupConfig)
     dedup_enabled: bool = True
+    index: IndexSpec | None = None
     admission_mode: str | None = None
     admission_inline_threshold: float | None = None
     admission_bypass_threshold: float | None = None
@@ -132,6 +142,7 @@ class ClusterSpec:
                 ("admission_bypass_threshold", self.admission_bypass_threshold),
                 ("admission_queue_records", self.admission_queue_records),
                 ("chunker_impl", self.chunker_impl),
+                ("index", self.index),
             )
             if value is not None
         }

@@ -85,6 +85,42 @@ EXPERIMENTS = {
 }
 
 
+def _add_index_arguments(command: argparse.ArgumentParser) -> None:
+    """Feature-index flags shared by run/index-report (IndexSpec surface)."""
+    command.add_argument(
+        "--index-kind", default="cuckoo", choices=["cuckoo", "tiered"],
+        help="feature index: the paper's unbounded cuckoo structure, or "
+             "the memory-bounded tiered variant (exact hot tier + "
+             "Bloom-banded cold tier)",
+    )
+    command.add_argument(
+        "--index-hot-bytes", type=int, default=None, metavar="BYTES",
+        help="tiered: hot-tier byte budget (demotes LRU entries to the "
+             "cold tier past it); unset = unbounded",
+    )
+    command.add_argument(
+        "--index-cold-fpp", type=float, default=0.01, metavar="P",
+        help="tiered: per-band Bloom false-positive budget",
+    )
+    command.add_argument(
+        "--index-promotion-hits", type=int, default=2, metavar="N",
+        help="tiered: cold lookups of a feature before it is promoted "
+             "back into the hot tier",
+    )
+
+
+def _index_spec_from_args(args: argparse.Namespace):
+    """The :class:`~repro.api.IndexSpec` the index flags describe."""
+    from repro.api import IndexSpec
+
+    return IndexSpec(
+        kind=args.index_kind,
+        hot_bytes_budget=args.index_hot_bytes,
+        cold_fpp=args.index_cold_fpp,
+        promotion_hits=args.index_promotion_hits,
+    )
+
+
 def _add_obs_arguments(command: argparse.ArgumentParser) -> None:
     """Observability export flags shared by run/trace-replay/experiment."""
     command.add_argument(
@@ -190,9 +226,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--check-invariants", action="store_true",
                      help="run the full cluster-invariant sweep after the "
                           "workload; non-zero exit on any violation")
+    _add_index_arguments(run)
     _add_obs_arguments(run)
 
     sub.add_parser("workloads", help="list available dataset generators")
+
+    index_report = sub.add_parser(
+        "index-report",
+        help="run a workload and dump the per-tier feature-index "
+             "snapshot (occupancy, bytes/record, false positives)",
+    )
+    index_report.add_argument("--workload", default="wikipedia",
+                              choices=[cls.name for cls in ALL_WORKLOADS])
+    index_report.add_argument("--target-bytes", type=int, default=1_000_000)
+    index_report.add_argument("--seed", type=int, default=7)
+    index_report.add_argument("--chunk-size", type=int, default=64)
+    index_report.add_argument("--shards", type=int, default=1)
+    index_report.add_argument("--json", action="store_true",
+                              help="emit the raw report as JSON instead of "
+                                   "the rendered table")
+    _add_index_arguments(index_report)
 
     record = sub.add_parser(
         "trace-record", help="synthesize a workload trace into a file"
@@ -389,6 +442,7 @@ def command_run(args: argparse.Namespace) -> int:
             hop_distance=args.hop_distance,
         ),
         dedup_enabled=not args.no_dedup,
+        index=_index_spec_from_args(args),
         block_compression=args.block_compression,
         insert_batch_size=args.batch_size,
         shards=args.shards,
@@ -459,6 +513,49 @@ def command_run(args: argparse.Namespace) -> int:
     )
     if args.check_invariants:
         return _run_invariant_sweep(cluster)
+    return 0
+
+
+def command_index_report(args: argparse.Namespace) -> int:
+    """Run a workload and dump the per-tier feature-index snapshot."""
+    import json
+
+    spec = ClusterSpec(
+        dedup=DedupConfig(chunk_size=args.chunk_size),
+        index=_index_spec_from_args(args),
+        shards=args.shards,
+    )
+    client = open_cluster(spec)
+    workload = make_workload(args.workload, seed=args.seed,
+                             target_bytes=args.target_bytes)
+    client.run(workload.insert_trace())
+    report = client.index_report()
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    for shard, body in sorted(report["shards"].items()):
+        kind = body.get("kind")
+        if kind is None:
+            print(f"shard {shard}: dedup disabled (no index)")
+            continue
+        print(f"shard {shard}: kind={kind}  maintenance cpu "
+              f"{body['maintenance_cpu_seconds'] * 1e3:.2f} ms")
+        for database, part in sorted(body["partitions"].items()):
+            budget = part["hot_bytes_budget"]
+            budget_text = f"{budget}" if budget is not None else "unbounded"
+            print(f"  {database}:")
+            print(f"    hot:  {part['hot_entries']} entries, "
+                  f"{part['hot_bytes']} B (budget {budget_text})")
+            print(f"    cold: {part['cold_records']} record refs, "
+                  f"{part['cold_bytes']} B across "
+                  f"{part['cold_bands_materialized']} band(s)")
+            print(f"    bytes/record: {part['bytes_per_record']:.2f}")
+            print(f"    lookups: {part['lookups']} = "
+                  f"{part['hot_hits']} hot + {part['cold_hits']} cold + "
+                  f"{part['misses']} miss; "
+                  f"{part['cold_false_positives']} cold false positives")
+            print(f"    demotions: {part['demotions']}  "
+                  f"promotions: {part['promotions']}")
     return 0
 
 
@@ -554,6 +651,8 @@ def main(argv: list[str] | None = None) -> int:
         return command_run(args)
     if args.command == "workloads":
         return command_workloads()
+    if args.command == "index-report":
+        return command_index_report(args)
     if args.command == "trace-record":
         return command_trace_record(args)
     if args.command == "trace-replay":

@@ -40,7 +40,7 @@ from repro.core.planner import CpuMeter, WritebackPlanner
 from repro.core.selector import SourceSelector
 from repro.core.size_filter import AdaptiveSizeFilter
 from repro.core.stats import DedupStats
-from repro.index.cuckoo import CuckooFeatureIndex
+from repro.index.tiered import FeatureIndex, build_index
 from repro.obs.registry import MetricsRegistry, slo_events_family
 from repro.sim.costs import CostModel
 from repro.sketch.features import SketchExtractor
@@ -173,7 +173,12 @@ class DedupEngine:
         #: Per-logical-database statistics (savings samples only kept
         #: globally, to bound memory).
         self.database_stats: dict[str, DedupStats] = {}
-        self._indexes: dict[str, CuckooFeatureIndex] = {}
+        #: The effective index configuration (flat knobs already folded).
+        self.index_spec = self.config.resolved_index()
+        self._indexes: dict[str, FeatureIndex] = {}
+        #: Simulated CPU spent on tier maintenance (demotions/promotions),
+        #: charged as background work via :meth:`charge_index_maintenance`.
+        self.index_maintenance_cpu_seconds = 0.0
         #: record id → global insertion sequence, used for recency
         #: tie-breaks in source selection. Pruned on record deletion and
         #: on governor-driven partition teardown.
@@ -292,6 +297,86 @@ class DedupEngine:
             (database,): float(index.memory_bytes)
             for database, index in self._indexes.items()
         })
+
+        # Kind-uniform index families: the cuckoo index carries the same
+        # hot_hits/misses split as the tiered one, and missing tier
+        # attributes read as 0 (a cuckoo index has no cold tier), so the
+        # reconciliation identity hot + cold + miss == lookups holds for
+        # every index kind.
+        def tier_values(attr, default=0):
+            return lambda: {
+                (database,): float(getattr(index, attr, default))
+                for database, index in self._indexes.items()
+            }
+
+        reg.counter(
+            "index_lookups_total", "Feature-index lookups (all tiers)",
+            label,
+        ).collect(tier_values("lookups"))
+        reg.counter(
+            "index_hot_hits_total",
+            "Lookups answered by the exact hot tier", label,
+        ).collect(tier_values("hot_hits"))
+        reg.counter(
+            "index_cold_hits_total",
+            "Lookups answered by the approximate cold tier", label,
+        ).collect(tier_values("cold_hits"))
+        reg.counter(
+            "index_misses_total",
+            "Lookups answered by neither tier", label,
+        ).collect(tier_values("misses"))
+        reg.counter(
+            "index_cold_false_positives_total",
+            "Cold-tier Bloom hits for features never demoted", label,
+        ).collect(tier_values("cold_false_positives"))
+        reg.counter(
+            "index_demotions_total",
+            "Hot-tier entries spilled to the cold tier", label,
+        ).collect(tier_values("demotions"))
+        reg.counter(
+            "index_promotions_total",
+            "Cold features promoted back into the hot tier", label,
+        ).collect(tier_values("promotions"))
+        tier_label = ("database", "tier")
+        reg.gauge(
+            "index_tier_residency",
+            "Entries resident per index tier", tier_label,
+        ).collect(lambda: {
+            key: value
+            for database, index in self._indexes.items()
+            for key, value in (
+                ((database, "hot"),
+                 float(getattr(index, "hot_entries", len(index)))),
+                ((database, "cold"),
+                 float(getattr(index, "cold_records", 0))),
+            )
+        })
+        reg.gauge(
+            "index_tier_memory_bytes",
+            "Charged index memory per tier", tier_label,
+        ).collect(lambda: {
+            key: value
+            for database, index in self._indexes.items()
+            for key, value in (
+                ((database, "hot"),
+                 float(getattr(index, "hot_bytes", index.memory_bytes))),
+                ((database, "cold"),
+                 float(getattr(index, "cold_bytes", 0))),
+            )
+        })
+        reg.gauge(
+            "index_bytes_per_record",
+            "Index memory amortized over the partition's live records",
+            label,
+        ).collect(lambda: {
+            (database,): index.memory_bytes
+            / max(1, len(self._partition_records.get(database, ())))
+            for database, index in self._indexes.items()
+        })
+        reg.counter(
+            "index_maintenance_cpu_seconds_total",
+            "Simulated CPU spent demoting/promoting index entries",
+        ).collect(lambda: {(): self.index_maintenance_cpu_seconds})
         reg.gauge(
             "governor_dedup_enabled",
             "1 while admission control keeps dedup on for the database",
@@ -434,21 +519,41 @@ class DedupEngine:
                     table += f"\n  drops[{stream}]: {reasons}"
         return table
 
-    def index_partitions(self) -> list[tuple[str, CuckooFeatureIndex]]:
+    def index_partitions(self) -> list[tuple[str, FeatureIndex]]:
         """Live ``(database, index)`` partitions (invariant checking)."""
         return list(self._indexes.items())
 
-    def index_for(self, database: str) -> CuckooFeatureIndex:
+    def index_for(self, database: str) -> FeatureIndex:
         """The database's feature-index partition (created on demand)."""
         index = self._indexes.get(database)
         if index is None:
-            index = CuckooFeatureIndex(
-                num_buckets=self.config.index_buckets,
-                slots_per_bucket=self.config.index_slots,
-                max_candidates=self.config.max_candidates,
-            )
+            index = build_index(self.index_spec)
             self._indexes[database] = index
         return index
+
+    def charge_index_maintenance(self, index, meter=None) -> float:
+        """Convert an index's pending tier-maintenance bytes to CPU time.
+
+        Demotions and promotions move entries between tiers; the bytes
+        moved accumulate on the index (``drain_maintenance_bytes``, 0 for
+        a plain cuckoo index) and are converted here at the cost model's
+        ``cpu_index_maintain_byte_s`` rate. With a ``meter`` the charge
+        rides the current encode's CPU total (and therefore the node's
+        background-CPU ledger); without one it only lands on the engine's
+        :attr:`index_maintenance_cpu_seconds`, which always accumulates
+        the charge and is what the rebuild paths read deltas from.
+        """
+        drain = getattr(index, "drain_maintenance_bytes", None)
+        if drain is None:
+            return 0.0
+        pending = drain()
+        if not pending:
+            return 0.0
+        seconds = pending * self.costs.cpu_index_maintain_byte_s
+        self.index_maintenance_cpu_seconds += seconds
+        if meter is not None:
+            meter.charge_index_maintenance(pending)
+        return seconds
 
     def rebuild_from(self, db, order: list[str] | None = None) -> int:
         """Repopulate engine state from an existing database (restart path).
@@ -480,6 +585,11 @@ class DedupEngine:
             self.register_insert(record.database, record_id)
             self.source_cache.admit(record_id, content)
             indexed += 1
+        # Tiered rebuilds can demote while repopulating; settle the
+        # maintenance bytes into the engine's CPU ledger so the caller
+        # (node restart / backlog drain) can charge the delta.
+        for index in self._indexes.values():
+            self.charge_index_maintenance(index)
         return indexed
 
     # -- the workflow ------------------------------------------------------------

@@ -305,6 +305,10 @@ class IndexLookupStage(_StageBase):
             for feature in ctx.sketch.features
         ]
         self.engine.register_insert(ctx.database, ctx.record_id)
+        # Tiered demotions/promotions triggered by this record's lookups
+        # and inserts are charged to this encode's CPU meter, so the sim
+        # sees tier churn as background work on the node.
+        self.engine.charge_index_maintenance(index, ctx.meter)
 
 
 class SourceSelectStage(_StageBase):

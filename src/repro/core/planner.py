@@ -47,6 +47,10 @@ class CpuMeter:
         """Charge delta-decode CPU for ``nbytes``."""
         self.seconds += nbytes * self.costs.cpu_decode_byte_s
 
+    def charge_index_maintenance(self, nbytes: int) -> None:
+        """Charge tier demotion/promotion CPU for ``nbytes`` moved."""
+        self.seconds += nbytes * self.costs.cpu_index_maintain_byte_s
+
 
 class WritebackPlanner:
     """Chain bookkeeping + backward-delta generation for one node."""

@@ -281,7 +281,14 @@ class PrimaryNode:
             if record_id in self.db.records
         )
         self.background_cpu_seconds += charged * self.costs.cpu_chunk_byte_s
-        return self.engine.rebuild_from(self.db, order=chunk)
+        # Tiered rebuilds can spill while repopulating; that maintenance
+        # CPU accumulates on the engine and is background work here too.
+        before = self.engine.index_maintenance_cpu_seconds
+        indexed = self.engine.rebuild_from(self.db, order=chunk)
+        self.background_cpu_seconds += (
+            self.engine.index_maintenance_cpu_seconds - before
+        )
+        return indexed
 
     def _build_engine(self) -> DedupEngine:
         """A dedup engine sharing the node's registry and tracer."""
@@ -369,7 +376,11 @@ class PrimaryNode:
                     seen.add(entry.record_id)
                     order.append(entry.record_id)
             order = sorted(set(db.records) - seen) + order
+            before = self.engine.index_maintenance_cpu_seconds
             self.engine.rebuild_from(db, order=order)
+            self.background_cpu_seconds += (
+                self.engine.index_maintenance_cpu_seconds - before
+            )
         self._crashed = False
         return report
 

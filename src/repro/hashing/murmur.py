@@ -7,7 +7,10 @@ the computation overhead in chunk hash calculation."
 
 This is a faithful pure-Python port of Austin Appleby's reference
 ``MurmurHash3_x86_32``; test vectors in ``tests/hashing/test_murmur.py``
-pin it against published digests.
+pin it against published digests. :func:`murmur3_32_u64_batch` is the
+numpy bulk lane for the fixed 8-byte-integer keys the feature index
+hashes by the million — byte-identical to calling :func:`murmur3_32` on
+``value.to_bytes(8, "little")`` for every element.
 """
 
 from __future__ import annotations
@@ -55,4 +58,40 @@ def murmur3_32(data: bytes, seed: int = 0) -> int:
     h ^= h >> 13
     h = (h * 0xC2B2AE35) & _MASK32
     h ^= h >> 16
+    return h
+
+
+def murmur3_32_u64_batch(values, seed: int = 0):
+    """MurmurHash3 of each integer's 8-byte little-endian form, vectorized.
+
+    ``values`` is any sequence of unsigned 64-bit integers (or a numpy
+    ``uint64`` array); the result is a ``uint32`` array where element *i*
+    equals ``murmur3_32(values[i].to_bytes(8, "little"), seed)``. An
+    8-byte key is exactly two murmur body blocks with an empty tail, so
+    the whole digest unrolls into a fixed chain of wrapping ``uint32``
+    array ops — the bulk lane the feature-index scale probes use to hash
+    tens of millions of features in seconds instead of minutes.
+    """
+    import numpy as np
+
+    v = np.ascontiguousarray(values, dtype=np.uint64)
+    c1 = np.uint32(_C1)
+    c2 = np.uint32(_C2)
+    h = np.full(v.shape, seed & _MASK32, dtype=np.uint32)
+    for block in (
+        (v & np.uint64(_MASK32)).astype(np.uint32),
+        (v >> np.uint64(32)).astype(np.uint32),
+    ):
+        k = block * c1
+        k = (k << np.uint32(15)) | (k >> np.uint32(17))
+        k = k * c2
+        h ^= k
+        h = (h << np.uint32(13)) | (h >> np.uint32(19))
+        h = h * np.uint32(5) + np.uint32(0xE6546B64)
+    h ^= np.uint32(8)  # length
+    h ^= h >> np.uint32(16)
+    h = h * np.uint32(0x85EBCA6B)
+    h ^= h >> np.uint32(13)
+    h = h * np.uint32(0xC2B2AE35)
+    h ^= h >> np.uint32(16)
     return h

@@ -8,11 +8,14 @@ entry, which is the figure the index-memory numbers in Fig. 1/10 report.
 Lookup semantics follow §3.1.2:
 
 * two hash functions map a feature to two candidate buckets, each with
-  several slots; lookup scans the buckets, collecting every entry whose
+  several slots; lookup scans *both* buckets, collecting every entry whose
   checksum matches — one feature can legitimately map to many records;
-* the scan stops early once ``max_candidates`` matches are found, at which
-  point the least-recently-used matching entry is evicted to keep hot
-  records discoverable;
+* when the matches reach ``max_candidates``, the least-recently-used
+  matching entry **across the full scan** is evicted to keep hot records
+  discoverable, and the first ``max_candidates`` surviving matches (scan
+  order: first bucket, then second, lowest slot first) are returned.
+  Recency ties break toward the earliest match in that same scan order —
+  between two equally stale entries the one found first is evicted;
 * insert places the (checksum, record) entry in the first empty slot; when
   every candidate slot is taken, the least-recently-used entry among the
   candidate buckets is displaced.
@@ -25,12 +28,17 @@ correctness.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
-from typing import Hashable
+from typing import Hashable, Sequence
 
 from repro.hashing.murmur import murmur3_32
 
 #: Bytes charged per occupied entry: 2-byte checksum + 4-byte pointer.
+#: The retained source feature (``_Entry.feature``) is simulation
+#: bookkeeping for the tiered index's spill path and is *not* part of
+#: this figure — :mod:`repro.index.tiered` charges it separately when a
+#: real deployment would actually have to store it.
 ENTRY_BYTES = 6
 
 
@@ -39,6 +47,7 @@ class _Entry:
     checksum: int
     record: Hashable
     last_used: int
+    feature: int = 0
     bucket: int = -1
 
 
@@ -85,6 +94,13 @@ class CuckooFeatureIndex:
         self.displacements = 0
         #: Matching entries evicted when a lookup hit ``max_candidates``.
         self.lru_evictions = 0
+        #: Lookup outcome split (every lookup increments exactly one):
+        #: ``hot_hits`` — at least one match; ``misses`` — none. The
+        #: names match the tiered index so the exported ``index_*``
+        #: families and their reconciliation identity are uniform across
+        #: index kinds (a cuckoo index has no cold tier: cold hits are 0).
+        self.hot_hits = 0
+        self.misses = 0
 
     # -- memory accounting -------------------------------------------------
 
@@ -124,19 +140,34 @@ class CuckooFeatureIndex:
         return matches
 
     def lookup(self, feature: int) -> list[Hashable]:
-        """Records whose entries match ``feature``'s checksum (LRU-refreshed)."""
+        """Records whose entries match ``feature``'s checksum (LRU-refreshed).
+
+        Both candidate buckets are scanned in full before the
+        ``max_candidates`` cap is applied, so the eviction it triggers
+        always removes the least-recently-used match of the *whole*
+        candidate set — an early-stopped scan used to evict the LRU of
+        whatever prefix it happened to see, which could keep a staler
+        entry alive in the unscanned remainder. Matches are bounded by
+        ``2 * slots_per_bucket``, so the full scan costs the same O(slots)
+        as before. Only the returned (capped) matches have their recency
+        refreshed; surplus matches beyond the cap stay stale and become
+        the next eviction candidates.
+        """
         checksum = self._checksum(feature)
         self._clock += 1
         self.lookups += 1
         matches: list[_Entry] = []
         for index in self._bucket_indexes(feature):
             for entry in self._buckets[index].slots:
-                if entry.checksum != checksum:
-                    continue
-                matches.append(entry)
-                if len(matches) >= self.max_candidates:
-                    self._evict_lru(matches)
-                    return [entry.record for entry in matches]
+                if entry.checksum == checksum:
+                    matches.append(entry)
+        if len(matches) >= self.max_candidates:
+            self._evict_lru(matches)
+            matches = matches[: self.max_candidates]
+        if not matches:
+            self.misses += 1
+            return []
+        self.hot_hits += 1
         for entry in matches:
             entry.last_used = self._clock
         return [entry.record for entry in matches]
@@ -144,10 +175,48 @@ class CuckooFeatureIndex:
     def insert(self, feature: int, record: Hashable) -> None:
         """Register ``record`` under ``feature``, displacing LRU if full."""
         checksum = self._checksum(feature)
+        first, second = self._bucket_indexes(feature)
+        self._insert_hashed(feature, record, checksum, first, second)
+
+    def insert_batch(
+        self, features: Sequence[int], record_ids: Sequence[Hashable]
+    ) -> None:
+        """Insert many ``(feature, record)`` pairs with vectorized hashing.
+
+        Semantically identical to ``insert(f, r)`` per pair in order, but
+        the three murmur digests per pair (checksum + both bucket hashes)
+        run as one numpy batch — the lane that makes the 10⁷-feature
+        budget probes in ``benchmarks/`` feasible in pure Python.
+        """
+        from repro.hashing.murmur import murmur3_32_u64_batch
+
+        checksums = murmur3_32_u64_batch(features, seed=0xC0FFEE)
+        firsts = murmur3_32_u64_batch(features, seed=0x1)
+        seconds = murmur3_32_u64_batch(features, seed=0x2)
+        mask = self._mask
+        for feature, record, checksum, first, second in zip(
+            features, record_ids, checksums, firsts, seconds
+        ):
+            first = int(first) & mask
+            second = int(second) & mask
+            if second == first:
+                second = (first + 1) & mask
+            self._insert_hashed(
+                int(feature), record, int(checksum) & 0xFFFF, first, second
+            )
+
+    def _insert_hashed(
+        self,
+        feature: int,
+        record: Hashable,
+        checksum: int,
+        first: int,
+        second: int,
+    ) -> None:
         self._clock += 1
         self.inserts += 1
-        entry = _Entry(checksum, record, self._clock)
-        candidates = self._bucket_indexes(feature)
+        entry = _Entry(checksum, record, self._clock, feature)
+        candidates = (first, second)
         for index in candidates:
             bucket = self._buckets[index]
             if len(bucket.slots) < self.slots_per_bucket:
@@ -172,17 +241,49 @@ class CuckooFeatureIndex:
             self.displacements += 1
 
     def _evict_lru(self, matches: list[_Entry]) -> None:
-        """Drop the least-recently-used entry among ``matches`` (§3.1.2)."""
+        """Drop the least-recently-used entry among ``matches`` (§3.1.2).
+
+        Tie-break: ``min`` keeps the first minimum, and ``matches`` is in
+        scan order, so between equally stale entries the one scanned
+        first (first bucket, lowest slot) is evicted.
+        """
         victim = min(matches, key=lambda entry: entry.last_used)
-        bucket = self._buckets[victim.bucket]
-        if victim in bucket.slots:
-            bucket.slots.remove(victim)
-            self._entry_count -= 1
-            self.lru_evictions += 1
+        self._remove_entry(victim)
+        self.lru_evictions += 1
         matches.remove(victim)
-        self._clock += 1
-        for entry in matches:
-            entry.last_used = self._clock
+
+    def _remove_entry(self, victim: _Entry) -> None:
+        """Unlink one entry from its bucket (identity match, not equality)."""
+        slots = self._buckets[victim.bucket].slots
+        for position, entry in enumerate(slots):
+            if entry is victim:
+                del slots[position]
+                self._entry_count -= 1
+                return
+
+    def pop_lru(self, count: int) -> list[tuple[int, Hashable]]:
+        """Remove the ``count`` least-recently-used entries, oldest first.
+
+        Returns their ``(feature, record)`` pairs — what the tiered
+        index's spill path needs to re-home an entry in the cold tier.
+        Recency ties break toward bucket/slot scan order, matching
+        :meth:`lookup` eviction. O(entries): spill-path only, called in
+        budget-sized chunks so the scan amortizes over many inserts.
+        """
+        if count <= 0:
+            return []
+        victims = heapq.nsmallest(
+            count,
+            (
+                entry
+                for bucket in self._buckets
+                for entry in bucket.slots
+            ),
+            key=lambda entry: entry.last_used,
+        )
+        for victim in victims:
+            self._remove_entry(victim)
+        return [(victim.feature, victim.record) for victim in victims]
 
     def record_ids(self) -> set[Hashable]:
         """Every record currently referenced by at least one entry.

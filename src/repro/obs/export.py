@@ -470,6 +470,10 @@ def check_reconciliation(document: dict) -> list[str]:
       deferred_discarded_total`` — every deferred record is either
       still queued, was deduped out of line, or was discarded
       (superseded by an update/delete or swept by a bypass);
+    * feature index: per database (and shard), ``index_lookups_total ==
+      index_hot_hits_total + index_cold_hits_total + index_misses_total``
+      — every lookup resolves to exactly one tier outcome, whichever
+      index kind served it;
     * source cache: exported hits/misses match the engine-scope legacy
       counters by construction (same instrument), nothing to cross-check.
 
@@ -576,5 +580,28 @@ def check_reconciliation(document: dict) -> list[str]:
                 problems.append(
                     f"admission {shard_key}: defer_decisions={deferred} "
                     f"!= outofline+queued+discarded={accounted}"
+                )
+
+    # Feature index: every lookup resolves to exactly one outcome —
+    # served by the exact hot tier, served by the approximate cold tier,
+    # or a miss. Holds per database partition (and per shard) for both
+    # index kinds; a plain cuckoo index simply reports cold_hits == 0.
+    index_lookups = _scalar_groups(
+        metrics, "index_lookups_total", ("database",)
+    )
+    if index_lookups:
+        hot = _scalar_groups(metrics, "index_hot_hits_total", ("database",))
+        cold = _scalar_groups(metrics, "index_cold_hits_total", ("database",))
+        missed = _scalar_groups(metrics, "index_misses_total", ("database",))
+        for key, lookups in index_lookups.items():
+            accounted = (
+                hot.get(key, 0.0)
+                + cold.get(key, 0.0)
+                + missed.get(key, 0.0)
+            )
+            if lookups != accounted:
+                problems.append(
+                    f"index {key}: lookups={lookups} != "
+                    f"hot+cold+miss={accounted}"
                 )
     return problems

@@ -35,6 +35,10 @@ class CostModel:
     cpu_decode_byte_s: float = 1.0 / (400 * 1024 * 1024)
     #: Block compression (Snappy-class): ~250 MB/s.
     cpu_compress_byte_s: float = 1.0 / (250 * 1024 * 1024)
+    #: Tiered-index maintenance (demoting/promoting entries between the
+    #: hot and cold tiers): ~200 MB/s of entry bytes moved — hash-heavy
+    #: pointer shuffling, cheaper than delta work, dearer than streaming.
+    cpu_index_maintain_byte_s: float = 1.0 / (200 * 1024 * 1024)
     #: Fixed request-handling overhead per client operation.
     request_overhead_s: float = 0.0002
 

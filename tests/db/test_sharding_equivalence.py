@@ -13,11 +13,19 @@ import dataclasses
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import ClusterSpec, open_cluster
+from repro.api import ClusterSpec, IndexSpec, open_cluster
 from repro.db.sharding import ShardedCluster
 from repro.workloads import make_workload
 
 WORKLOADS = ("wikipedia", "enron")
+
+#: Index variants the property must hold for: the default cuckoo index
+#: and a budget-squeezed tiered index whose demote/promote churn must
+#: stay deterministic across topologies.
+INDEX_SPECS = (
+    None,
+    IndexSpec(kind="tiered", hot_bytes_budget=1024, promotion_hits=2),
+)
 
 
 def strip_shard_dimension(snapshot: dict) -> dict:
@@ -51,11 +59,12 @@ def strip_shard_dimension(snapshot: dict) -> dict:
     workload_name=st.sampled_from(WORKLOADS),
     batch_size=st.sampled_from((1, 3, 8)),
     trace_kind=st.sampled_from(("insert", "mixed")),
+    index_spec=st.sampled_from(INDEX_SPECS),
 )
 def test_one_shard_topology_is_byte_identical(
-    seed, workload_name, batch_size, trace_kind
+    seed, workload_name, batch_size, trace_kind, index_spec
 ):
-    spec = ClusterSpec(insert_batch_size=batch_size)
+    spec = ClusterSpec(insert_batch_size=batch_size, index=index_spec)
     plain = open_cluster(spec).cluster
     sharded = ShardedCluster.from_spec(
         dataclasses.replace(spec, shards=1)

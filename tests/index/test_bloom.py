@@ -1,0 +1,85 @@
+"""Bloom filter: geometry sizing, membership, false-positive budget."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.bloom import (
+    MIN_BITS,
+    BloomFilter,
+    bloom_geometry,
+    feature_digests,
+)
+
+
+class TestGeometry:
+    def test_sizes_scale_with_capacity(self):
+        small_bits, _ = bloom_geometry(100, 0.01)
+        large_bits, _ = bloom_geometry(10_000, 0.01)
+        assert large_bits > small_bits
+
+    def test_tighter_fpp_costs_more_bits(self):
+        loose_bits, _ = bloom_geometry(1000, 0.1)
+        tight_bits, _ = bloom_geometry(1000, 0.001)
+        assert tight_bits > loose_bits
+
+    def test_bits_are_byte_aligned_and_floored(self):
+        num_bits, num_hashes = bloom_geometry(1, 0.5)
+        assert num_bits >= MIN_BITS
+        assert num_bits % 8 == 0
+        assert num_hashes >= 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"capacity": 0, "fpp": 0.01},
+        {"capacity": 100, "fpp": 0.0},
+        {"capacity": 100, "fpp": 1.0},
+    ])
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            bloom_geometry(**kwargs)
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(capacity=256, fpp=0.01)
+        features = [hash(("f", i)) & 0xFFFFFFFFFFFFFFFF for i in range(256)]
+        for feature in features:
+            bloom.add(feature)
+        assert all(feature in bloom for feature in features)
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = BloomFilter(capacity=64, fpp=0.01)
+        assert not any(feature in bloom for feature in range(1000))
+
+    def test_hashed_path_matches_unhashed(self):
+        bloom = BloomFilter(capacity=64, fpp=0.01)
+        bloom.add_hashed(*feature_digests(12345))
+        assert 12345 in bloom
+        assert bloom.contains(12345)
+
+    def test_h2_is_odd(self):
+        for feature in range(100):
+            _, h2 = feature_digests(feature)
+            assert h2 % 2 == 1
+
+    def test_size_bytes_matches_geometry(self):
+        bloom = BloomFilter(capacity=2048, fpp=0.01)
+        assert bloom.size_bytes == bloom.num_bits // 8
+
+    def test_false_positive_rate_near_budget(self):
+        # At design capacity, the observed rate should be within a small
+        # multiple of the target (statistical slack for one seed).
+        bloom = BloomFilter(capacity=2048, fpp=0.01)
+        for feature in range(2048):
+            bloom.add(feature)
+        probes = range(1_000_000, 1_020_000)
+        positives = sum(1 for feature in probes if feature in bloom)
+        assert positives / 20_000 < 0.04
+
+    @settings(max_examples=25)
+    @given(st.sets(st.integers(0, 2**64 - 1), min_size=1, max_size=64))
+    def test_property_added_always_member(self, features):
+        bloom = BloomFilter(capacity=64, fpp=0.05)
+        for feature in features:
+            bloom.add(feature)
+        assert all(feature in bloom for feature in features)

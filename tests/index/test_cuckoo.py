@@ -58,6 +58,29 @@ class TestLookupInsert:
         assert 3 <= len(results) <= 4
         assert len(index) == before - 1  # the LRU entry was evicted
 
+    def test_eviction_scans_past_the_cap_for_the_true_lru(self, index):
+        """Regression: the cap eviction considers the FULL match set.
+
+        Six same-feature entries overflow the first bucket (4 slots)
+        into the second, so matches 5 and 6 sit past the
+        ``max_candidates=4`` cap in scan order. The first lookup evicts
+        the overall LRU (rec-0) and refreshes only the four returned
+        matches — rec-5, beyond the cap, stays stale. The second lookup
+        must therefore evict rec-5, the true LRU of the whole candidate
+        set; an early-stopped scan would wrongly evict rec-1 (the LRU of
+        the first four matches it happened to see) and keep the staler
+        rec-5 alive.
+        """
+        for position in range(6):
+            index.insert(99, f"rec-{position}")
+        first = index.lookup(99)
+        assert "rec-0" not in first  # overall LRU evicted at the cap
+        second = index.lookup(99)
+        survivors = index.record_ids()
+        assert "rec-5" not in survivors  # stale-beyond-the-cap entry went
+        assert "rec-1" in survivors      # refreshed match survived
+        assert "rec-1" in second
+
 
 class TestEvictionAndMemory:
     def test_memory_counts_entries(self, index):

@@ -54,6 +54,27 @@ GOVERNOR_ALLOWED = frozenset({
     "tests/core/test_admission.py",  # asserts the deprecation shim warns
 })
 
+#: The flat index knobs on ``DedupConfig`` are deprecated in favour of
+#: ``IndexSpec`` (nested as ``ClusterSpec.index`` / ``DedupConfig.index``).
+#: Code outside ``src/repro`` must not set them; only the test that pins
+#: the warn-once deprecation shim may. ``max_candidates`` stays legal —
+#: it is a first-class ``IndexSpec`` kwarg, not only a flat knob.
+FLAT_INDEX_BANNED = re.compile(r"^\s*\w.*\b(index_buckets|index_slots)\s*=")
+
+FLAT_INDEX_ALLOWED = frozenset({
+    "tests/api/test_index_spec.py",  # asserts the flat-knob shim warns
+})
+
+#: ``IndexSpec`` must be imported from the public surface (``repro.api``
+#: or the ``repro.index`` package root), not from the internal module
+#: that defines it — the spec module's location is an implementation
+#: detail the API re-export insulates callers from.
+INDEX_SPEC_BANNED = re.compile(
+    r"^\s*(from\s+repro\.index\.spec\s+import\b|import\s+repro\.index\.spec\b)"
+)
+
+INDEX_SPEC_ALLOWED: frozenset[str] = frozenset()
+
 ALLOWED = frozenset({
     "benchmarks/test_batch_insert.py",
     "tests/analysis/test_chains.py",
@@ -94,6 +115,18 @@ RULES = (
         GOVERNOR_ALLOWED,
         "imports the deprecated governor shim "
         '(use AdmissionController / admission_mode="governor")',
+    ),
+    (
+        FLAT_INDEX_BANNED,
+        FLAT_INDEX_ALLOWED,
+        "sets a deprecated flat index knob "
+        "(pass index=IndexSpec(...) instead)",
+    ),
+    (
+        INDEX_SPEC_BANNED,
+        INDEX_SPEC_ALLOWED,
+        "imports the internal spec module "
+        "(import IndexSpec from repro.api)",
     ),
 )
 
