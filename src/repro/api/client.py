@@ -207,6 +207,60 @@ class DedupClient:
             )
         return drained
 
+    def cleanup(
+        self, *, dry_run: bool = False, max_records: int | None = None
+    ) -> dict:
+        """Run (or just plan) a rollback-safe GC batch on every primary.
+
+        With ``dry_run`` each shard returns its
+        :class:`~repro.core.gc.GcPlan` (reclaimable bytes, chains to
+        re-root, pages to compact) without touching the store; otherwise
+        each shard runs one plan → dry-run → apply → post-validate batch
+        and returns its :class:`~repro.core.gc.GcReport`. The idleness
+        gate is bypassed — this is the operator-initiated path behind
+        ``repro cleanup``.
+        """
+        shards = {}
+        for index, primary in enumerate(self._primaries()):
+            if dry_run:
+                shards[index] = {"plan": primary.collect_garbage(dry_run=True)}
+            else:
+                shards[index] = {
+                    "report": primary.collect_garbage(max_records=max_records)
+                }
+        return {"dry_run": dry_run, "shards": shards}
+
+    def audit_report(
+        self,
+        *,
+        database: str | None = None,
+        reason: str | None = None,
+        limit: int | None = None,
+    ) -> dict:
+        """Per-shard dedup audit trail: summary plus matching entries.
+
+        Entries (:class:`~repro.core.audit.AuditEntry`) are newest-first
+        and filterable by ``database`` and decision ``reason``; the
+        summary aggregates records, reasons, raw and saved bytes. After a
+        crash or failover the entries are rebuilt from the oplog
+        (``rebuilt=True``) while the audit counters survive on the
+        shared registry.
+        """
+        shards = {}
+        for index, primary in enumerate(self._primaries()):
+            engine = primary.engine
+            if engine is None:
+                shards[index] = {"summary": None, "entries": []}
+                continue
+            audit = engine.audit
+            shards[index] = {
+                "summary": audit.summary(),
+                "entries": audit.query(
+                    database=database, reason=reason, limit=limit
+                ),
+            }
+        return {"shards": shards}
+
     def admission_report(self) -> dict:
         """Per-shard admission snapshot: mode, decision counts by
         stream, deferred-queue depth, bypassed streams, and the

@@ -63,6 +63,14 @@ class ClusterSpec:
             the dedup config's value. Both lanes produce byte-identical
             boundaries and sketches (the scalar lane is the
             differential-testing oracle), so this knob only moves CPU.
+        gc_enabled: convenience override of ``dedup.gc_enabled`` —
+            True runs the online garbage collector during idle slices;
+            None keeps the dedup config's value (off by default).
+        gc_reclaim_threshold_bytes: override of
+            ``dedup.gc_reclaim_threshold_bytes`` (reclaimable-bytes
+            gate before an idle slice runs a GC batch).
+        gc_max_batch_records: override of
+            ``dedup.gc_max_batch_records`` (re-encodes per GC batch).
         block_compression: page compressor: 'none', 'snappy', 'zlib'.
         batch_compression: oplog-batch compressor before transfer.
         use_writeback_cache: False disables the encode write-back cache.
@@ -99,6 +107,9 @@ class ClusterSpec:
     admission_bypass_threshold: float | None = None
     admission_queue_records: int | None = None
     chunker_impl: str | None = None
+    gc_enabled: bool | None = None
+    gc_reclaim_threshold_bytes: int | None = None
+    gc_max_batch_records: int | None = None
     block_compression: str = "none"
     batch_compression: str = "none"
     use_writeback_cache: bool = True
@@ -142,6 +153,9 @@ class ClusterSpec:
                 ("admission_bypass_threshold", self.admission_bypass_threshold),
                 ("admission_queue_records", self.admission_queue_records),
                 ("chunker_impl", self.chunker_impl),
+                ("gc_enabled", self.gc_enabled),
+                ("gc_reclaim_threshold_bytes", self.gc_reclaim_threshold_bytes),
+                ("gc_max_batch_records", self.gc_max_batch_records),
                 ("index", self.index),
             )
             if value is not None

@@ -30,6 +30,27 @@ class SketchSweepRow:
     compression_ratio: float
     dedup_hit_ratio: float
     index_memory_bytes: int
+    #: Mean CDC chunks per sketched record (``dedup_chunks_per_record``
+    #: histogram) — halving the chunk size should roughly double this.
+    mean_chunks_per_record: float = 0.0
+    #: Median of the same histogram (upper bound of the p50 bucket).
+    p50_chunks_per_record: float = 0.0
+    #: Drop reason → records dropped for it, engine-wide — shows *why*
+    #: the non-deduped remainder left the pipeline at this geometry.
+    drop_reasons: dict[str, int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.drop_reasons is None:
+            object.__setattr__(self, "drop_reasons", {})
+
+
+def _format_drops(drop_reasons: dict[str, int]) -> str:
+    if not drop_reasons:
+        return "-"
+    return ", ".join(
+        f"{reason}={count}"
+        for reason, count in sorted(drop_reasons.items())
+    )
 
 
 @dataclass
@@ -48,10 +69,14 @@ class SketchSweepResult:
         """Render this result as an aligned text table/summary."""
         return render_table(
             f"Ablation ({self.workload}): sketch geometry (chunk size x K)",
-            ["chunk", "K", "ratio", "dedup hits", "index KB"],
+            ["chunk", "K", "ratio", "dedup hits", "index KB",
+             "chunks/rec (mean/p50)", "drops by reason"],
             [
                 (row.chunk_size, row.top_k, row.compression_ratio,
-                 row.dedup_hit_ratio, row.index_memory_bytes / 1024.0)
+                 row.dedup_hit_ratio, row.index_memory_bytes / 1024.0,
+                 f"{row.mean_chunks_per_record:.1f}/"
+                 f"{row.p50_chunks_per_record:.0f}",
+                 _format_drops(row.drop_reasons))
                 for row in self.rows
             ],
         )
@@ -75,6 +100,7 @@ def sketch_sweep(
             )
             result = cluster.run(workload.insert_trace())
             stats = cluster.primary.engine.stats
+            chunks = stats.chunks_per_record
             rows.append(
                 SketchSweepRow(
                     chunk_size=chunk_size,
@@ -82,6 +108,11 @@ def sketch_sweep(
                     compression_ratio=result.storage_compression_ratio,
                     dedup_hit_ratio=stats.dedup_hit_ratio,
                     index_memory_bytes=result.index_memory_bytes,
+                    mean_chunks_per_record=(
+                        chunks.sum / chunks.count if chunks.count else 0.0
+                    ),
+                    p50_chunks_per_record=chunks.quantile(0.5),
+                    drop_reasons=stats.drop_reasons,
                 )
             )
     return SketchSweepResult(workload=workload_name, rows=rows)

@@ -18,6 +18,7 @@ from repro.bench import experiments
 from repro.bench import ablations
 from repro.bench.admission_exp import admission_experiment
 from repro.bench.failover_exp import failover_experiment
+from repro.bench.gc_exp import gc_reclaim_experiment
 from repro.bench.pipeline_profile import pipeline_profile
 from repro.bench.sharding_exp import shard_scaling
 from repro.bench.slo_exp import DEFAULT_CPU_SCALE, slo_experiment
@@ -65,6 +66,9 @@ EXPERIMENTS = {
     "failover": lambda args: failover_experiment(
         args.workload, target_bytes=args.target_bytes,
         seed=args.seed, crash_fraction=args.crash_fraction,
+    ),
+    "gc-reclaim": lambda args: gc_reclaim_experiment(
+        args.workload, target_bytes=args.target_bytes, seed=args.seed,
     ),
     "admission": lambda args: admission_experiment(
         mix=args.mix, target_bytes=args.target_bytes, seed=args.seed,
@@ -273,6 +277,59 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the full cluster-invariant sweep after the "
                              "replay; non-zero exit on any violation")
     _add_obs_arguments(replay)
+
+    cleanup = sub.add_parser(
+        "cleanup",
+        help="run a workload, delete a slice of it, then run the "
+             "rollback-safe GC batch (plan -> dry-run -> apply -> "
+             "post-validate) and report what it reclaimed",
+    )
+    cleanup.add_argument("--workload", default="wikipedia",
+                         choices=[cls.name for cls in ALL_WORKLOADS])
+    cleanup.add_argument("--target-bytes", type=int, default=1_000_000)
+    cleanup.add_argument("--seed", type=int, default=7)
+    cleanup.add_argument("--chunk-size", type=int, default=64)
+    cleanup.add_argument("--shards", type=int, default=1)
+    cleanup.add_argument("--delete-fraction", type=float, default=0.25,
+                         metavar="F",
+                         help="delete this fraction of inserted records "
+                              "before collecting (creates the tombstones "
+                              "GC reclaims)")
+    cleanup.add_argument("--max-batch-records", type=int, default=None,
+                         metavar="N",
+                         help="cap on dependents re-encoded in the batch "
+                              "(default: the config's gc_max_batch_records)")
+    cleanup.add_argument("--dry-run", action="store_true",
+                         help="print the GC plan (reclaimable bytes, chains "
+                              "to re-root, pages to compact) without "
+                              "touching the store; non-zero exit when "
+                              "post-validation would fail")
+    cleanup.add_argument("--check-invariants", action="store_true",
+                         help="run the full cluster-invariant sweep after "
+                              "the batch; non-zero exit on any violation")
+
+    audit = sub.add_parser(
+        "audit",
+        help="run a workload and query the per-record dedup audit trail "
+             "(decision reason, source, similarity, bytes saved)",
+    )
+    audit.add_argument("--workload", default="wikipedia",
+                       choices=[cls.name for cls in ALL_WORKLOADS])
+    audit.add_argument("--target-bytes", type=int, default=1_000_000)
+    audit.add_argument("--seed", type=int, default=7)
+    audit.add_argument("--chunk-size", type=int, default=64)
+    audit.add_argument("--shards", type=int, default=1)
+    audit.add_argument("--database", default=None,
+                       help="only entries for this logical database")
+    audit.add_argument("--reason", default=None,
+                       help="only entries with this decision reason "
+                            "(e.g. 'deduped', 'no_candidate')")
+    audit.add_argument("--limit", type=int, default=10,
+                       help="most recent entries to print per shard "
+                            "(0 = summary only)")
+    audit.add_argument("--json", action="store_true",
+                       help="emit the raw report as JSON instead of the "
+                            "rendered summary")
 
     check = sub.add_parser(
         "check-metrics",
@@ -611,6 +668,132 @@ def command_trace_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _deleted_workload_client(args: argparse.Namespace) -> DedupClient:
+    """Shared cleanup/audit setup: load a corpus, delete a slice of it."""
+    spec = ClusterSpec(
+        dedup=DedupConfig(chunk_size=args.chunk_size),
+        shards=args.shards,
+    )
+    client = open_cluster(spec)
+    workload = make_workload(args.workload, seed=args.seed,
+                             target_bytes=args.target_bytes)
+    trace = list(workload.insert_trace())
+    client.run(trace)
+    fraction = getattr(args, "delete_fraction", 0.0)
+    if fraction > 0:
+        inserted = [op for op in trace if op.kind == "insert"]
+        step = max(1, round(1 / max(fraction, 1e-9)))
+        for op in inserted[::step]:
+            client.delete(op.database, op.record_id)
+        client.finalize()
+    return client
+
+
+def command_cleanup(args: argparse.Namespace) -> int:
+    """Run the operator-initiated GC batch; non-zero exit on rollback."""
+    from repro.db.invariants import check_database
+
+    client = _deleted_workload_client(args)
+    report = client.cleanup(
+        dry_run=args.dry_run, max_records=args.max_batch_records
+    )
+    exit_code = 0
+    for shard, body in sorted(report["shards"].items()):
+        print(f"shard {shard}:")
+        if args.dry_run:
+            plan = body["plan"]
+            for line in plan.describe().splitlines():
+                print(f"  {line}")
+            continue
+        batch = body["report"]
+        print(f"  outcome           : {batch.outcome}")
+        print(f"  chains re-rooted  : {batch.reroots_applied} "
+              f"({batch.promotions} promoted to raw)")
+        print(f"  tombstones removed: {batch.tombstones_removed}")
+        print(f"  reclaimed bytes   : {batch.reclaimed_bytes}")
+        print(f"  pages freed       : {batch.pages_freed} "
+              f"({batch.compaction_bytes_moved} bytes migrated)")
+        print(f"  background cpu    : {batch.cpu_seconds * 1e3:.2f} ms")
+        if batch.violations:
+            for violation in batch.violations:
+                print(f"  POST-VALIDATION: {violation}")
+            exit_code = 1
+    if args.dry_run:
+        # A batch only fails post-validation (and rolls back) when the
+        # store already violates its invariants — the prepared payloads
+        # are decode-checked during planning. Surface that prediction.
+        for index, primary in enumerate(_cluster_primaries(client.cluster)):
+            sweep = check_database(primary.db, node=f"shard{index}")
+            if not sweep.ok:
+                for violation in sweep.violations:
+                    print(f"WOULD FAIL POST-VALIDATION: {violation}")
+                exit_code = 1
+    if args.check_invariants:
+        invariant_code = _run_invariant_sweep(client.cluster)
+        exit_code = exit_code or invariant_code
+    return exit_code
+
+
+def _cluster_primaries(cluster) -> list:
+    """Shard primaries of either topology (plain cluster = one shard)."""
+    from repro.db.sharding import ShardedCluster
+
+    if isinstance(cluster, ShardedCluster):
+        return [shard.primary for shard in cluster.shards]
+    return [cluster.primary]
+
+
+def command_audit(args: argparse.Namespace) -> int:
+    """Run a workload and print the dedup audit trail."""
+    import json
+    from dataclasses import asdict
+
+    client = _deleted_workload_client(args)
+    report = client.audit_report(
+        database=args.database, reason=args.reason,
+        limit=args.limit if args.limit > 0 else None,
+    )
+    if args.json:
+        payload = {
+            "shards": {
+                str(shard): {
+                    "summary": body["summary"],
+                    "entries": [asdict(entry) for entry in body["entries"]],
+                }
+                for shard, body in report["shards"].items()
+            }
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for shard, body in sorted(report["shards"].items()):
+        summary = body["summary"]
+        if summary is None:
+            print(f"shard {shard}: dedup disabled (no audit trail)")
+            continue
+        print(f"shard {shard}: {summary['records']} records audited "
+              f"({summary['rebuilt']} rebuilt from the oplog)")
+        print(f"  raw bytes   : {summary['raw_bytes']}")
+        print(f"  saved bytes : {summary['saved_bytes']}")
+        print(f"  mean similarity (deduped): {summary['mean_similarity']:.2f}")
+        reasons = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(summary["reasons"].items())
+        )
+        print(f"  reasons     : {reasons}")
+        if args.limit > 0 and body["entries"]:
+            print("  most recent entries:")
+            for entry in body["entries"]:
+                source = (
+                    f" source={entry.source_id} "
+                    f"similarity={entry.similarity}"
+                    if entry.source_id is not None else ""
+                )
+                print(f"    {entry.database}/{entry.record_id}: "
+                      f"{entry.reason} raw={entry.raw_size} "
+                      f"saved={entry.saved_bytes}{source}")
+    return 0
+
+
 def command_check_metrics(args: argparse.Namespace) -> int:
     """Validate an exported metrics file; print problems, exit non-zero."""
     import json
@@ -657,6 +840,10 @@ def main(argv: list[str] | None = None) -> int:
         return command_trace_record(args)
     if args.command == "trace-replay":
         return command_trace_replay(args)
+    if args.command == "cleanup":
+        return command_cleanup(args)
+    if args.command == "audit":
+        return command_audit(args)
     if args.command == "check-metrics":
         return command_check_metrics(args)
     if args.command == "report":

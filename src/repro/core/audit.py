@@ -1,0 +1,264 @@
+"""Per-record dedup audit trail: who saved what, and why.
+
+Every record the engine processes leaves one :class:`AuditEntry` — the
+selected source, the similarity score that chose it, the bytes the
+forward delta saved, and the decision reason (``"deduped"`` or the
+pipeline drop reason for records stored unique). The trail is the
+operator-facing answer to "why is my dedup ratio what it is", queryable
+through ``repro audit`` and :meth:`repro.api.DedupClient.audit_report`.
+
+Two representations, deliberately distinct:
+
+* the **entry list** lives on the engine and dies with the process — it
+  is rebuilt best-effort from the oplog after a crash or failover
+  (:meth:`AuditTrail.rebuild_from_oplog`), because the oplog already
+  persists the decision that matters (``encoded`` + ``base_id`` +
+  payload size);
+* the **counters** (``audit_records_total``, ``audit_saved_bytes_total``,
+  ``audit_raw_bytes_total``) live in the metrics registry, which spans
+  engine generations, so the reconciliation identity
+
+  ``audit_saved_bytes_total == dedup_bytes_in_total - dedup_oplog_bytes_out_total``
+
+  holds by construction — the trail is fed at the exact point
+  :meth:`~repro.core.stats.DedupStats.record_insert` is called and
+  nowhere else — and keeps holding after a failover rebuild.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.registry import MetricsRegistry
+
+#: Scope label of the engine-wide audit view (matches
+#: :data:`repro.core.stats.ENGINE_SCOPE`).
+AUDIT_SCOPE = "_total"
+
+#: Reason recorded for a record stored as a forward delta.
+REASON_DEDUPED = "deduped"
+
+#: Reason recorded for rebuilt entries whose oplog row was unencoded —
+#: the original drop reason is not persisted, only the outcome.
+REASON_UNIQUE = "unique"
+
+
+@dataclass(frozen=True)
+class AuditEntry:
+    """One record's dedup decision.
+
+    Attributes:
+        record_id: the inserted record.
+        database: logical database (tenant/stream) it belongs to.
+        reason: ``"deduped"``, a pipeline drop reason
+            (:data:`repro.core.pipeline.DROP_REASONS`), or ``"unique"``
+            for rebuilt entries whose drop reason the oplog no longer
+            knows.
+        source_id: the selected source record (None when stored unique).
+        similarity: the selection score that chose the source (None when
+            stored unique or rebuilt — the score is not persisted).
+        raw_size: the record's raw byte size at insert.
+        saved_bytes: ``raw_size`` minus the oplog payload shipped — the
+            forward-path saving this record realized.
+        rebuilt: True when the entry was reconstructed from the oplog
+            after a crash/failover rather than observed live.
+    """
+
+    record_id: str
+    database: str
+    reason: str
+    source_id: str | None
+    similarity: float | None
+    raw_size: int
+    saved_bytes: int
+    rebuilt: bool = False
+
+
+class AuditTrail:
+    """Append-only dedup decision log with registry-backed totals.
+
+    Args:
+        registry: instrument registry the ``audit_*`` counter families
+            live in; a private one is created when omitted (tests).
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._entries: list[AuditEntry] = []
+        self._by_record: dict[tuple[str, str], AuditEntry] = {}
+        self._records_family = self.registry.counter(
+            "audit_records_total",
+            "Audit-trail entries by decision reason",
+            ("scope", "reason"),
+        )
+        self._saved = self.registry.counter(
+            "audit_saved_bytes_total",
+            "Sum of per-record forward-path savings logged by the audit "
+            "trail (reconciles with dedup_bytes_in_total - "
+            "dedup_oplog_bytes_out_total)",
+            ("scope",),
+        ).labels(AUDIT_SCOPE)
+        self._raw = self.registry.counter(
+            "audit_raw_bytes_total",
+            "Sum of raw record bytes logged by the audit trail",
+            ("scope",),
+        ).labels(AUDIT_SCOPE)
+        self._reason_children: dict[str, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> list[AuditEntry]:
+        """The trail, oldest first (a live view; do not mutate)."""
+        return self._entries
+
+    # -- accumulation -------------------------------------------------------
+
+    def record(
+        self,
+        *,
+        record_id: str,
+        database: str,
+        reason: str,
+        raw_size: int,
+        saved_bytes: int,
+        source_id: str | None = None,
+        similarity: float | None = None,
+    ) -> AuditEntry:
+        """Log one live dedup decision and bump the ``audit_*`` counters."""
+        entry = AuditEntry(
+            record_id=record_id,
+            database=database,
+            reason=reason,
+            source_id=source_id,
+            similarity=similarity,
+            raw_size=raw_size,
+            saved_bytes=saved_bytes,
+        )
+        self._append(entry)
+        child = self._reason_children.get(reason)
+        if child is None:
+            child = self._records_family.labels(AUDIT_SCOPE, reason)
+            self._reason_children[reason] = child
+        child.inc()
+        self._saved.inc(saved_bytes)
+        self._raw.inc(raw_size)
+        return entry
+
+    def rebuild_from_oplog(self, oplog_entries, records) -> int:
+        """Reconstruct the entry list from persisted oplog inserts.
+
+        Called after a crash restart or a failover promotion, when the
+        engine (and with it the in-memory trail) was rebuilt from
+        scratch. The oplog persists the decision outcome — ``encoded``
+        plus ``base_id`` plus the shipped payload — so every insert maps
+        back to an audit entry; the similarity score and the specific
+        drop reason are not persisted and come back as ``None`` /
+        ``"unique"``. The ``audit_*`` registry counters are *not*
+        re-incremented: the registry outlives the engine generation and
+        already holds the live totals, which is what keeps the
+        check-metrics reconciliation identity true across failover.
+
+        Args:
+            oplog_entries: iterable of :class:`~repro.db.oplog.OplogEntry`.
+            records: the store's ``records`` mapping, used to recover
+                raw sizes of encoded inserts.
+
+        Returns:
+            Number of entries reconstructed.
+        """
+        rebuilt = 0
+        for entry in oplog_entries:
+            if entry.op != "insert":
+                continue
+            if entry.encoded:
+                stored = records.get(entry.record_id)
+                raw_size = (
+                    stored.raw_size if stored is not None else len(entry.payload)
+                )
+                self._append(
+                    AuditEntry(
+                        record_id=entry.record_id,
+                        database=entry.database,
+                        reason=REASON_DEDUPED,
+                        source_id=entry.base_id,
+                        similarity=None,
+                        raw_size=raw_size,
+                        saved_bytes=raw_size - len(entry.payload),
+                        rebuilt=True,
+                    )
+                )
+            else:
+                self._append(
+                    AuditEntry(
+                        record_id=entry.record_id,
+                        database=entry.database,
+                        reason=REASON_UNIQUE,
+                        source_id=None,
+                        similarity=None,
+                        raw_size=len(entry.payload),
+                        saved_bytes=0,
+                        rebuilt=True,
+                    )
+                )
+            rebuilt += 1
+        return rebuilt
+
+    def _append(self, entry: AuditEntry) -> None:
+        self._entries.append(entry)
+        self._by_record[(entry.database, entry.record_id)] = entry
+
+    # -- queries ------------------------------------------------------------
+
+    def lookup(self, database: str, record_id: str) -> AuditEntry | None:
+        """The latest entry for one record (None when never audited)."""
+        return self._by_record.get((database, record_id))
+
+    def query(
+        self,
+        database: str | None = None,
+        reason: str | None = None,
+        limit: int | None = None,
+    ) -> list[AuditEntry]:
+        """Filtered entries, newest first."""
+        selected = [
+            entry
+            for entry in reversed(self._entries)
+            if (database is None or entry.database == database)
+            and (reason is None or entry.reason == reason)
+        ]
+        return selected if limit is None else selected[:limit]
+
+    @property
+    def total_saved_bytes(self) -> int:
+        """Sum of per-record logged savings over the current entry list."""
+        return sum(entry.saved_bytes for entry in self._entries)
+
+    @property
+    def total_raw_bytes(self) -> int:
+        """Sum of logged raw record sizes over the current entry list."""
+        return sum(entry.raw_size for entry in self._entries)
+
+    def reason_counts(self) -> dict[str, int]:
+        """Entry counts by decision reason (current entry list)."""
+        counts: dict[str, int] = {}
+        for entry in self._entries:
+            counts[entry.reason] = counts.get(entry.reason, 0) + 1
+        return counts
+
+    def summary(self) -> dict:
+        """Operator-facing rollup for the ``repro audit`` CLI."""
+        deduped = [e for e in self._entries if e.reason == REASON_DEDUPED]
+        return {
+            "records": len(self._entries),
+            "rebuilt": sum(1 for e in self._entries if e.rebuilt),
+            "reasons": self.reason_counts(),
+            "raw_bytes": self.total_raw_bytes,
+            "saved_bytes": self.total_saved_bytes,
+            "deduped_records": len(deduped),
+            "mean_similarity": (
+                sum(e.similarity for e in deduped if e.similarity is not None)
+                / max(1, sum(1 for e in deduped if e.similarity is not None))
+            ),
+        }

@@ -87,6 +87,16 @@ class DedupConfig:
         size_filter_enabled: the filter can be disabled for ablations.
         idle_queue_threshold: disk queue length at or below which the
             write-back cache flushes (§3.3.2's idleness signal).
+        gc_enabled: run the online garbage collector
+            (:class:`repro.core.gc.GarbageCollector`) during idle
+            slices. Off by default: reclamation changes stored forms,
+            so baselines opt in explicitly.
+        gc_reclaim_threshold_bytes: minimum estimated reclaimable bytes
+            (tombstones + compactable page slack) before an idle slice
+            spends time on a GC batch.
+        gc_max_batch_records: most dependent records re-encoded per GC
+            batch — bounds the work (and the rollback scope) of one
+            idle slice.
         saving_sample_cap: maximum per-record saving samples retained for
             Fig. 7's weighted CDF; beyond the cap the engine reservoir-
             samples so memory stays O(cap) however long the run. <= 0
@@ -121,6 +131,9 @@ class DedupConfig:
     size_filter_interval: int = 1000
     size_filter_enabled: bool = True
     idle_queue_threshold: int = 0
+    gc_enabled: bool = False
+    gc_reclaim_threshold_bytes: int = 64 * 1024
+    gc_max_batch_records: int = 64
     murmur_seed: int = 0x5EED
     saving_sample_cap: int = 100_000
 
@@ -150,6 +163,16 @@ class DedupConfig:
             raise ValueError(
                 f"size_filter_percentile must be in [0, 100), got "
                 f"{self.size_filter_percentile}"
+            )
+        if self.gc_reclaim_threshold_bytes < 0:
+            raise ValueError(
+                "gc_reclaim_threshold_bytes must be >= 0, got "
+                f"{self.gc_reclaim_threshold_bytes}"
+            )
+        if self.gc_max_batch_records < 1:
+            raise ValueError(
+                f"gc_max_batch_records must be >= 1, got "
+                f"{self.gc_max_batch_records}"
             )
         # Validate the index configuration (and emit the flat-knob
         # deprecation warning, if due) at construction time.

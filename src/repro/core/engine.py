@@ -29,6 +29,7 @@ from repro.core.admission import (
     DECISION_DEFER,
     AdmissionController,
 )
+from repro.core.audit import AuditTrail
 from repro.core.config import DedupConfig
 from repro.core.pipeline import (
     EncodeContext,
@@ -165,6 +166,11 @@ class DedupEngine:
             saving_sample_cap=self.config.saving_sample_cap,
             source_cache=self.planner.source_cache,
         )
+        #: Per-record dedup decision log, fed by the accounting stage in
+        #: lockstep with ``stats`` so the audit reconciliation identity
+        #: holds by construction. Rebuilt from the oplog after a
+        #: crash/failover (see ``PrimaryNode.restart``/``from_secondary``).
+        self.audit = AuditTrail(registry=self.registry)
         #: First-class SLO events (shared family; the cluster feeds
         #: ``failover_stall`` into the same one). Children are cached so
         #: the per-insert cost is one dict hit plus a float add.

@@ -405,6 +405,20 @@ class AccountingStage(_StageBase):
             engine.stats_for(ctx.database).record_insert(
                 ctx.raw_size, oplog_size, ideal_delta, deduped=True
             )
+            # The audit trail is fed in lockstep with the engine-scope
+            # record_insert above — its reconciliation identity depends
+            # on exactly this 1:1 pairing.
+            engine.audit.record(
+                record_id=ctx.record_id,
+                database=ctx.database,
+                reason="deduped",
+                raw_size=ctx.raw_size,
+                saved_bytes=ctx.raw_size - oplog_size,
+                source_id=ctx.selected.record_id,
+                similarity=ctx.selected.score,
+            )
+            if ctx.sketch is not None:
+                engine.stats.note_chunks(ctx.sketch.chunk_count)
             # Source-cache hit/miss accounting lives in the cache itself
             # since the unification; stats delegate to it.
             engine.observe_admission(
@@ -445,6 +459,15 @@ class AccountingStage(_StageBase):
         engine.stats_for(ctx.database).record_insert(
             ctx.raw_size, ctx.raw_size, ctx.raw_size, deduped=False
         )
+        engine.audit.record(
+            record_id=ctx.record_id,
+            database=ctx.database,
+            reason=ctx.drop_reason or "unique",
+            raw_size=ctx.raw_size,
+            saved_bytes=0,
+        )
+        if ctx.sketch is not None:
+            engine.stats.note_chunks(ctx.sketch.chunk_count)
         ctx.result = EncodeResult(
             record_id=ctx.record_id,
             database=ctx.database,

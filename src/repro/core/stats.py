@@ -41,6 +41,12 @@ _RESERVOIR_SEED = 0x5EED
 #: Scope label of the engine-wide (cross-database) view.
 ENGINE_SCOPE = "_total"
 
+#: Power-of-two buckets for the chunks-per-record histogram — chunk
+#: counts are small integers, so byte buckets would collapse them.
+CHUNK_COUNT_BUCKETS: tuple[float, ...] = tuple(
+    float(1 << k) for k in range(11)
+)
+
 
 class DedupStats:
     """Counters accumulated by the engine, viewed through one scope.
@@ -141,6 +147,12 @@ class DedupStats:
             "dedup_record_bytes", "Raw size distribution of records",
             label, buckets=BYTE_BUCKETS,
         ).labels(scope)
+        self._chunks_per_record = reg.histogram(
+            "dedup_chunks_per_record",
+            "CDC chunks per sketched record (records that reached the "
+            "sketch stage)",
+            label, buckets=CHUNK_COUNT_BUCKETS,
+        ).labels(scope)
 
         stage_labels = ("scope", "stage")
         self._stage_in = reg.counter(
@@ -198,6 +210,15 @@ class DedupStats:
     def note_overlap(self) -> None:
         """Count one overlapped (non-tail-source) encoding."""
         self._overlapped.inc()
+
+    def note_chunks(self, count: int) -> None:
+        """Record how many CDC chunks one sketched record produced."""
+        self._chunks_per_record.observe(count)
+
+    @property
+    def chunks_per_record(self):
+        """The chunks-per-record histogram child (sum/count/buckets)."""
+        return self._chunks_per_record
 
     def note_writebacks_planned(self, count: int) -> None:
         """Count ``count`` scheduled write-backs."""

@@ -288,6 +288,52 @@ class Database:
         record = self.records.get(record_id)
         return record.stored_size if record is not None else 0
 
+    def decode_stored_content(self, record_id: str) -> bytes | None:
+        """What a record's *stored* chain decodes to, for GC validation.
+
+        Unlike :meth:`read`/:meth:`fetch_content` this ignores the
+        record's own pending client updates and bypasses the record
+        cache — it answers "what do dependents' deltas decode against",
+        which is the byte identity garbage collection must preserve.
+        Charges background disk reads; returns None when a page along
+        the chain is corrupt (the GC batch then skips or rolls back).
+
+        Raises:
+            CorruptChain: on cycles or dangling base pointers.
+        """
+        record = self.records.get(record_id)
+        if record is None:
+            return None
+        chain: list[StoredRecord] = []
+        cursor = record
+        seen: set[str] = set()
+        while True:
+            if cursor.record_id in seen:
+                raise CorruptChain(f"cycle at {cursor.record_id!r}")
+            seen.add(cursor.record_id)
+            chain.append(cursor)
+            if cursor.form is RecordForm.RAW:
+                break
+            base = self.records.get(cursor.base_id)
+            if base is None:
+                raise CorruptChain(
+                    f"{cursor.record_id!r} has dangling base "
+                    f"{cursor.base_id!r}"
+                )
+            cursor = base
+        content: bytes | None = None
+        try:
+            for rec in reversed(chain):
+                payload = self._read_payload(rec)
+                self._charge_read(rec.stored_size, foreground=False)
+                if rec.form is RecordForm.RAW:
+                    content = payload
+                else:
+                    content = apply_delta(content, deserialize(payload))
+        except CorruptPage:
+            return None
+        return content
+
     # -- measurements ------------------------------------------------------------
 
     @property
@@ -308,6 +354,32 @@ class Database:
     def stored_bytes(self) -> int:
         """Post-dedup, pre-block-compression storage footprint."""
         return self.pages.logical_bytes
+
+    @property
+    def stored_bytes_total(self) -> int:
+        """Monotonic bytes ever written to storage.
+
+        With :attr:`reclaimed_bytes_total` this fixes the tombstone
+        accounting drift: ``stored_bytes_total - reclaimed_bytes_total
+        == stored_bytes`` at all times, so savings reports can subtract
+        deleted records' bytes instead of overstating dedup.
+        """
+        return getattr(self.pages, "bytes_written_total", 0)
+
+    @property
+    def reclaimed_bytes_total(self) -> int:
+        """Monotonic bytes reclaimed from storage (deletes, shrinking
+        rewrites, GC). Never exceeds :attr:`stored_bytes_total`."""
+        return getattr(self.pages, "bytes_reclaimed_total", 0)
+
+    @property
+    def tombstone_bytes(self) -> int:
+        """Stored bytes held by deferred-deleted records awaiting GC."""
+        return sum(
+            record.stored_size
+            for record in self.records.values()
+            if record.deleted
+        )
 
     def physical_bytes(self) -> int:
         """Post-dedup, post-block-compression storage footprint."""
@@ -533,6 +605,14 @@ class Database:
             dependent = chain[position]
             middle = chain[position + 1]
             if not middle.deleted or middle.form is not RecordForm.DELTA:
+                continue
+            # Consecutive tombstones: an earlier iteration's splice may
+            # have reaped either record already (``_remove`` cascades
+            # through ``_release_base``); the chain list is stale then.
+            if (
+                dependent.record_id not in self.records
+                or middle.record_id not in self.records
+            ):
                 continue
             grandbase = self.records.get(middle.base_id)
             if grandbase is None or grandbase.record_id not in contents:

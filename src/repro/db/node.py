@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from repro.core.config import DedupConfig
 from repro.core.engine import DedupEngine
+from repro.core.gc import GarbageCollector
 from repro.core.reencoder import SecondaryReencoder
 from repro.compression.block import BlockCompressor
 from repro.db.database import Database
@@ -142,6 +143,66 @@ def _install_node_collectors(registry: MetricsRegistry, node) -> None:
         "Buffer-pool frames evicted to make room",
     )
 
+    # Cumulative storage accounting: written minus reclaimed equals the
+    # live logical footprint by construction — the check-metrics identity
+    # reclaimed_bytes_total <= stored_bytes_total rides on these.
+    export(
+        db("stored_bytes_total"), "stored_bytes_total",
+        "Bytes ever written into the record store (cumulative)",
+    )
+    export(
+        db("reclaimed_bytes_total"), "reclaimed_bytes_total",
+        "Bytes reclaimed from the record store by deletes, updates and GC",
+    )
+
+    # GC families read through node.gc lazily: restart swaps the
+    # collector alongside the database it serves (secondaries have none,
+    # so the getattr guard reads 0 there).
+    gc = lambda attr: (lambda: getattr(getattr(node, "gc", None), attr, 0))
+    export(
+        gc("reclaimed_bytes"), "gc_reclaimed_bytes_total",
+        "Stored bytes reclaimed by applied GC batches",
+    )
+    export(
+        gc("reroots_applied"), "gc_reroots_total",
+        "Delta chains re-rooted past a dead base",
+    )
+    export(
+        gc("promotions"), "gc_promotions_total",
+        "Dependents promoted to RAW while re-rooting",
+    )
+    export(
+        gc("tombstones_removed"), "gc_tombstones_removed_total",
+        "Tombstoned records physically removed by GC",
+    )
+    export(
+        gc("pages_freed"), "gc_pages_freed_total",
+        "Pages freed by GC-driven compaction",
+    )
+    export(
+        gc("compaction_bytes_moved"), "gc_compaction_bytes_moved_total",
+        "Live bytes migrated while compacting pages",
+    )
+    export(
+        gc("cpu_seconds"), "gc_cpu_seconds_total",
+        "Background CPU spent planning and applying GC batches",
+    )
+
+    batches_family = registry.counter(
+        "gc_batches_total", "GC batches by outcome", ("node", "outcome")
+    )
+
+    def _gc_batches() -> dict[tuple[str, str], float]:
+        collector = getattr(node, "gc", None)
+        if collector is None:
+            return {}
+        return {
+            (node.node_name, outcome): float(count)
+            for outcome, count in collector.batches.items()
+        }
+
+    batches_family.collect(_gc_batches)
+
 
 class PrimaryNode:
     """Write-serving node with the dbDedup encoder attached."""
@@ -186,6 +247,7 @@ class PrimaryNode:
         self.node_name = node_name
         self.engine = self._build_engine() if dedup_enabled else None
         self.db = self._build_database()
+        self.gc = GarbageCollector(self.db, self.costs)
         self.oplog = Oplog()
         self.background_cpu_seconds = 0.0
         self.crashes = 0
@@ -231,6 +293,7 @@ class PrimaryNode:
         )
         node.db = secondary.db
         node.db.node_role = "primary"
+        node.gc = GarbageCollector(node.db, node.costs)
         if node.engine is not None:
             # The store's decode cache becomes the engine's source cache
             # (same invalidation contract the constructor wires).
@@ -246,6 +309,12 @@ class PrimaryNode:
                     seen.add(entry.record_id)
                     order.append(entry.record_id)
             node._index_backlog = sorted(set(node.db.records) - seen) + order
+            # The audit trail's queryable entries are volatile engine
+            # state; rebuild them from the adopted oplog (counters stay
+            # untouched — the shared registry already holds them).
+            node.engine.audit.rebuild_from_oplog(
+                node.oplog.entries(), node.db.records
+            )
         return node
 
     @property
@@ -368,6 +437,7 @@ class PrimaryNode:
             load_snapshot(snapshot_path, into=db)
         _, report = replay_oplog(self.oplog.entries(), into=db)
         self.db = db
+        self.gc = GarbageCollector(db, self.costs)
         if self.engine is not None:
             order: list[str] = []
             seen: set[str] = set()
@@ -380,6 +450,12 @@ class PrimaryNode:
             self.engine.rebuild_from(db, order=order)
             self.background_cpu_seconds += (
                 self.engine.index_maintenance_cpu_seconds - before
+            )
+            # Recover the queryable audit entries from the WAL; the
+            # registry-backed audit counters survived the crash on the
+            # shared registry and must not be re-incremented.
+            self.engine.audit.rebuild_from_oplog(
+                self.oplog.entries(), db.records
             )
         self._crashed = False
         return report
@@ -549,7 +625,59 @@ class PrimaryNode:
         drained = self.drain_deferred_dedup(
             max_records=self.DEFERRED_DRAIN_SLICE
         )
-        return self.db.flush_writebacks_if_idle() + drained
+        collected = self.maybe_collect_garbage()
+        return self.db.flush_writebacks_if_idle() + drained + collected
+
+    def maybe_collect_garbage(self) -> int:
+        """Run one GC batch when idle and worth the trip (§3.3.2 gating).
+
+        Three gates, all cheap: the config opt-in (``gc_enabled``), the
+        idleness signal (disk queue at or below ``idle_queue_threshold``
+        — the same signal the write-back flusher uses), and a
+        reclaimable-bytes floor (``gc_reclaim_threshold_bytes``) so idle
+        slices do not burn planning CPU on a clean store. Returns the
+        units of GC work done (re-roots + tombstones + pages freed).
+        """
+        if (
+            not self.config.gc_enabled
+            or self._crashed
+            or not self.db.disk.is_idle(self.config.idle_queue_threshold)
+        ):
+            return 0
+        plan = self.gc.plan()
+        if plan.estimated_reclaim_bytes < self.config.gc_reclaim_threshold_bytes:
+            return 0
+        report = self.gc.run(
+            plan=plan, max_records=self.config.gc_max_batch_records
+        )
+        self.background_cpu_seconds += report.cpu_seconds
+        return (
+            report.reroots_applied
+            + report.tombstones_removed
+            + report.pages_freed
+        )
+
+    def collect_garbage(self, *, dry_run: bool = False, max_records=None):
+        """Run (or just plan) a GC batch on demand, ignoring idleness.
+
+        With ``dry_run`` returns the :class:`~repro.core.gc.GcPlan`
+        without touching the store; otherwise runs the rollback-safe
+        batch and returns its :class:`~repro.core.gc.GcReport`.
+        """
+        self._require_available()
+        plan = self.gc.plan()
+        if dry_run:
+            return plan
+        report = self.gc.run(
+            plan=plan,
+            max_records=(
+                max_records
+                if max_records is not None
+                else self.config.gc_max_batch_records
+            ),
+        )
+        self.background_cpu_seconds += report.cpu_seconds
+        return report
 
     def drain_deferred_dedup(
         self, max_records: int | None = None, force: bool = False

@@ -42,6 +42,13 @@ class PageStore:
         self._pages: list[_Page] = []
         self._page_of: dict[str, int] = {}
         self._payloads: dict[str, bytes] = {}
+        #: Monotonic bytes ever written into pages (places + rewrites).
+        self.bytes_written_total = 0
+        #: Monotonic bytes reclaimed from pages (removals + shrinks);
+        #: ``written - reclaimed == logical_bytes`` at all times.
+        self.bytes_reclaimed_total = 0
+        #: Pages returned to the allocator by :meth:`compact`.
+        self.pages_freed_total = 0
 
     def __contains__(self, record_id: str) -> bool:
         return record_id in self._payloads
@@ -67,6 +74,7 @@ class PageStore:
         page.dirty = True
         self._page_of[record_id] = page.index
         self._payloads[record_id] = payload
+        self.bytes_written_total += len(payload)
         return page.index
 
     def update(self, record_id: str, payload: bytes) -> int:
@@ -75,6 +83,8 @@ class PageStore:
         page = self._pages[page_index]
         page.used += len(payload) - len(self._payloads[record_id])
         page.dirty = True
+        self.bytes_written_total += len(payload)
+        self.bytes_reclaimed_total += len(self._payloads[record_id])
         self._payloads[record_id] = payload
         return page_index
 
@@ -85,8 +95,45 @@ class PageStore:
             return
         page = self._pages[page_index]
         page.record_ids.remove(record_id)
-        page.used -= len(self._payloads.pop(record_id))
+        removed = self._payloads.pop(record_id)
+        page.used -= len(removed)
         page.dirty = True
+        self.bytes_reclaimed_total += len(removed)
+
+    def compact(self) -> tuple[int, int]:
+        """Repack records into dense pages, freeing the emptied ones.
+
+        Record order is preserved (current page order), so a store with
+        no slack is untouched. Returns ``(pages_freed, bytes_moved)``;
+        ``bytes_moved`` counts payloads that changed page and is what a
+        caller charges as migration I/O.
+        """
+        order = [
+            record_id
+            for page in self._pages
+            for record_id in page.record_ids
+        ]
+        moved = 0
+        new_pages: list[_Page] = []
+        new_page_of: dict[str, int] = {}
+        for record_id in order:
+            payload = self._payloads[record_id]
+            if (
+                not new_pages
+                or new_pages[-1].used + len(payload) > self.page_size
+            ):
+                new_pages.append(_Page(index=len(new_pages)))
+            page = new_pages[-1]
+            page.record_ids.append(record_id)
+            page.used += len(payload)
+            if self._page_of[record_id] != page.index:
+                moved += len(payload)
+            new_page_of[record_id] = page.index
+        freed = len(self._pages) - len(new_pages)
+        self._pages = new_pages
+        self._page_of = new_page_of
+        self.pages_freed_total += freed
+        return freed, moved
 
     @property
     def logical_bytes(self) -> int:

@@ -474,6 +474,19 @@ def check_reconciliation(document: dict) -> list[str]:
       index_hot_hits_total + index_cold_hits_total + index_misses_total``
       — every lookup resolves to exactly one tier outcome, whichever
       index kind served it;
+    * storage accounting: per node (and shard),
+      ``reclaimed_bytes_total <= stored_bytes_total`` — deletes, updates
+      and GC can only reclaim bytes some write once stored (the fix for
+      the tombstone accounting drift, where deleted records' bytes were
+      never subtracted from the stored-bytes counters);
+    * audit trail: per scope (and shard),
+      ``audit_saved_bytes_total == dedup_bytes_in_total -
+      dedup_oplog_bytes_out_total`` and ``audit_raw_bytes_total ==
+      dedup_bytes_in_total`` — the per-record audit log and the engine
+      byte counters are written at the same pipeline instruction, so
+      their sums must agree, including after a crash or failover rebuild
+      (the registry-backed counters survive; rebuilt audit entries never
+      re-increment them);
     * source cache: exported hits/misses match the engine-scope legacy
       counters by construction (same instrument), nothing to cross-check.
 
@@ -603,5 +616,50 @@ def check_reconciliation(document: dict) -> list[str]:
                 problems.append(
                     f"index {key}: lookups={lookups} != "
                     f"hot+cold+miss={accounted}"
+                )
+
+    # Storage accounting: reclamation (deletes, updates, GC) can only
+    # free bytes some write once stored; both counters are cumulative
+    # and monotonic per node, so the bound holds at every instant.
+    written = _scalar_groups(metrics, "stored_bytes_total", ("node",))
+    store_reclaimed = _scalar_groups(
+        metrics, "reclaimed_bytes_total", ("node",)
+    )
+    for key, freed in store_reclaimed.items():
+        limit = written.get(key, 0.0)
+        if freed > limit:
+            problems.append(
+                f"storage {key}: reclaimed_bytes={freed} > "
+                f"stored_bytes={limit}"
+            )
+
+    # Audit trail: the audit counters and the engine byte counters are
+    # incremented by the same accounting-stage instruction, so their
+    # sums must agree. The audit families only carry the engine scope,
+    # so only that key is checked; per-database byte counters fold away.
+    audit_saved = _scalar_groups(
+        metrics, "audit_saved_bytes_total", ("scope",)
+    )
+    if audit_saved:
+        bytes_in = _scalar_groups(metrics, "dedup_bytes_in_total", ("scope",))
+        oplog_out = _scalar_groups(
+            metrics, "dedup_oplog_bytes_out_total", ("scope",)
+        )
+        audit_raw = _scalar_groups(
+            metrics, "audit_raw_bytes_total", ("scope",)
+        )
+        for key, saved in audit_saved.items():
+            expected = bytes_in.get(key, 0.0) - oplog_out.get(key, 0.0)
+            if saved != expected:
+                problems.append(
+                    f"audit {key}: audit_saved_bytes={saved} != "
+                    f"bytes_in-oplog_bytes_out={expected}"
+                )
+        for key, raw in audit_raw.items():
+            expected = bytes_in.get(key, 0.0)
+            if raw != expected:
+                problems.append(
+                    f"audit {key}: audit_raw_bytes={raw} != "
+                    f"bytes_in={expected}"
                 )
     return problems

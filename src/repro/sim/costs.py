@@ -39,6 +39,12 @@ class CostModel:
     #: hot and cold tiers): ~200 MB/s of entry bytes moved — hash-heavy
     #: pointer shuffling, cheaper than delta work, dearer than streaming.
     cpu_index_maintain_byte_s: float = 1.0 / (200 * 1024 * 1024)
+    #: GC planning scan: refcount/tombstone bookkeeping over resident
+    #: metadata, ~1 GB/s — cheaper than any content work.
+    cpu_gc_scan_byte_s: float = 1.0 / (1024 * 1024 * 1024)
+    #: Page compaction migration: memcpy-class moves with slot fixups,
+    #: ~500 MB/s.
+    cpu_compaction_byte_s: float = 1.0 / (500 * 1024 * 1024)
     #: Fixed request-handling overhead per client operation.
     request_overhead_s: float = 0.0002
 

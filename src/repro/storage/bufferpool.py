@@ -60,6 +60,11 @@ class BufferPool:
         self._dirty.add(page_id)
         return page_id, page
 
+    def drop(self, page_id: int) -> None:
+        """Discard a page's frame without writing it back (page freed)."""
+        self._frames.pop(page_id, None)
+        self._dirty.discard(page_id)
+
     def mark_dirty(self, page_id: int) -> None:
         """Record that a resident page's contents changed.
 

@@ -25,17 +25,43 @@ class SimBlockDevice:
         self.disk = disk if disk is not None else SimDisk(SimClock())
         self._pages: dict[int, bytes] = {}
         self._next_page = 0
+        self._free_ids: list[int] = []
+        #: Pages ever returned via :meth:`free` (compaction accounting).
+        self.pages_freed_total = 0
 
     @property
     def page_count(self) -> int:
-        """Number of pages allocated so far."""
+        """Number of currently allocated pages (freed pages excluded)."""
+        return self._next_page - len(self._free_ids)
+
+    @property
+    def high_water_page(self) -> int:
+        """One past the highest page id ever allocated."""
         return self._next_page
 
     def allocate(self) -> int:
-        """Reserve a new page id (no I/O until it is written)."""
+        """Reserve a new page id, reusing freed ids first."""
+        if self._free_ids:
+            return self._free_ids.pop()
         page_id = self._next_page
         self._next_page += 1
         return page_id
+
+    def free(self, page_id: int) -> None:
+        """Return a page to the allocator, dropping its image.
+
+        Raises:
+            ValueError: for unallocated or already-free page ids.
+        """
+        if page_id >= self._next_page or page_id in self._free_ids:
+            raise ValueError(f"page {page_id} is not allocated")
+        self._pages.pop(page_id, None)
+        self._free_ids.append(page_id)
+        self.pages_freed_total += 1
+
+    def written_page_ids(self) -> list[int]:
+        """Ids of pages holding an image, ascending."""
+        return sorted(self._pages)
 
     def read_page(self, page_id: int) -> tuple[bytes, float]:
         """Fetch a page image; returns ``(bytes, disk latency)``.

@@ -103,6 +103,75 @@ class HeapFile:
         """Write all dirty pages to the device."""
         return self.pool.flush_all()
 
+    def compact(self, occupancy_threshold: float = 0.5) -> tuple[int, int]:
+        """Migrate records off sparse pages and free the empty ones.
+
+        Heap pages whose free space is at least ``occupancy_threshold``
+        of the page are retired: their live cells relocate through the
+        normal insert path (reads and writes go through the buffer
+        pool, so migration I/O is charged like any other), then every
+        allocated page with no live cells — retired heap pages, pages
+        emptied by earlier deletes, and orphaned overflow pages — is
+        returned to the device allocator.
+
+        Returns ``(pages_freed, bytes_moved)``.
+        """
+        cell_records: dict[int, list[str]] = {}
+        for record_id, location in self._locations.items():
+            if location[0] == "cell":
+                cell_records.setdefault(location[1], []).append(record_id)
+        sparse = [
+            page_id
+            for page_id, free in self._free_space.items()
+            if cell_records.get(page_id)
+            and free >= occupancy_threshold * self.page_size
+        ]
+        moved_bytes = 0
+        # Most-empty first: their records fit in the least-empty pages.
+        for page_id in sorted(
+            sparse, key=lambda pid: (-self._free_space[pid], pid)
+        ):
+            relocate = [
+                (record_id, self.get(record_id))
+                for record_id in sorted(cell_records.get(page_id, ()))
+            ]
+            for record_id, _ in relocate:
+                self.delete(record_id)
+            # Retire the page from placement before re-inserting so the
+            # records cannot land straight back on it.
+            self._free_space.pop(page_id, None)
+            for record_id, data in relocate:
+                self._insert(record_id, data)
+                moved_bytes += len(data)
+
+        freed = 0
+        for page_id in list(self._free_space):
+            try:
+                page = self.pool.get(page_id)
+            except KeyError:
+                continue
+            if page.live_cells == 0:
+                del self._free_space[page_id]
+                self.pool.drop(page_id)
+                self.device.free(page_id)
+                freed += 1
+        referenced = set(self._free_space)
+        for location in self._locations.values():
+            if location[0] == "overflow":
+                referenced.update(location[1])
+        for page_id in self.device.written_page_ids():
+            if page_id in referenced:
+                continue
+            try:
+                page = self.pool.get(page_id)
+            except KeyError:
+                continue
+            if page.live_cells == 0:
+                self.pool.drop(page_id)
+                self.device.free(page_id)
+                freed += 1
+        return freed, moved_bytes
+
     # -- internals ------------------------------------------------------------
 
     def _insert(self, record_id: str, data: bytes) -> None:
@@ -168,6 +237,13 @@ class HeapFileStore:
         )
         self.compressor = compressor if compressor is not None else NullCompressor()
         self._sizes: dict[str, int] = {}
+        #: Monotonic bytes ever written (places + rewrites).
+        self.bytes_written_total = 0
+        #: Monotonic bytes reclaimed (removals + shrinking rewrites);
+        #: ``written - reclaimed == logical_bytes`` at all times.
+        self.bytes_reclaimed_total = 0
+        #: Pages returned to the allocator by :meth:`compact`.
+        self.pages_freed_total = 0
 
     def __contains__(self, record_id: str) -> bool:
         return record_id in self.heap
@@ -180,12 +256,16 @@ class HeapFileStore:
     def place(self, record_id: str, payload: bytes) -> int:
         """Store a new record's payload."""
         self.heap.put(record_id, payload)
+        self.bytes_written_total += len(payload)
+        self.bytes_reclaimed_total += self._sizes.get(record_id, 0)
         self._sizes[record_id] = len(payload)
         return 0
 
     def update(self, record_id: str, payload: bytes) -> int:
         """Replace a record's content."""
         self.heap.put(record_id, payload)
+        self.bytes_written_total += len(payload)
+        self.bytes_reclaimed_total += self._sizes.get(record_id, 0)
         self._sizes[record_id] = len(payload)
         return 0
 
@@ -193,7 +273,14 @@ class HeapFileStore:
         """Drop a record (idempotent)."""
         if record_id in self.heap:
             self.heap.delete(record_id)
-        self._sizes.pop(record_id, None)
+        self.bytes_reclaimed_total += self._sizes.pop(record_id, 0)
+
+    def compact(self) -> tuple[int, int]:
+        """Migrate sparse pages and free empty ones; see
+        :meth:`HeapFile.compact`. Returns ``(pages_freed, bytes_moved)``."""
+        freed, moved = self.heap.compact()
+        self.pages_freed_total += freed
+        return freed, moved
 
     @property
     def logical_bytes(self) -> int:
@@ -204,7 +291,7 @@ class HeapFileStore:
         """Compressed size of every live page image."""
         self.heap.flush()
         total = 0
-        for page_id in range(self.heap.device.page_count):
+        for page_id in self.heap.device.written_page_ids():
             try:
                 image, _ = self.heap.device.read_page(page_id)
             except KeyError:

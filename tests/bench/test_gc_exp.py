@@ -1,0 +1,71 @@
+"""Smoke test of the delete-heavy GC reclaim experiment.
+
+The acceptance bar for the online collector: the delete-heavy trace
+reclaims storage when GC is on, and the foreground p99 stays within
+noise of the never-collecting run because collection only happens in
+idle slices.
+"""
+
+import pytest
+
+from repro.bench.gc_exp import delete_heavy_trace, gc_reclaim_experiment
+
+TINY = 120_000
+
+
+@pytest.fixture(scope="module")
+def result():
+    return gc_reclaim_experiment(target_bytes=TINY)
+
+
+class TestGcReclaimExperiment:
+    def test_collector_only_runs_when_enabled(self, result):
+        off, on = result.row("gc-off"), result.row("gc-on")
+        assert off.gc_batches == 0
+        assert off.tombstones_removed == 0
+        assert on.gc_batches > 0
+        assert on.tombstones_removed > 0
+
+    def test_gc_reclaims_storage(self, result):
+        off, on = result.row("gc-off"), result.row("gc-on")
+        assert result.reclaim_advantage_bytes > 0
+        assert on.reclaimed_bytes > off.reclaimed_bytes
+        assert on.stored_bytes < off.stored_bytes
+
+    def test_foreground_p99_within_noise(self, result):
+        # GC batches run in idle slices and bill background CPU only;
+        # the foreground tail must not move beyond noise.
+        assert 0.5 <= result.p99_ratio <= 1.5
+
+    def test_gc_work_charged_as_background(self, result):
+        off, on = result.row("gc-off"), result.row("gc-on")
+        assert on.background_cpu_s >= off.background_cpu_s
+
+    def test_render_mentions_both_configs(self, result):
+        rendered = result.render()
+        assert "gc-off" in rendered
+        assert "gc-on" in rendered
+        assert "reclaim advantage" in rendered
+
+    def test_unknown_row_raises(self, result):
+        with pytest.raises(KeyError):
+            result.row("gc-maybe")
+
+
+class TestDeleteHeavyTrace:
+    def test_trace_shape(self):
+        trace = delete_heavy_trace(
+            "wikipedia", target_bytes=TINY, seed=3, delete_fraction=0.25
+        )
+        kinds = [op.kind for op in trace]
+        inserts = kinds.count("insert")
+        deletes = kinds.count("delete")
+        assert deletes == pytest.approx(inserts * 0.25, abs=1)
+        assert kinds.count("idle") >= 1
+        assert kinds[-1] == "idle"
+
+    def test_zero_fraction_deletes_nothing(self):
+        trace = delete_heavy_trace(
+            "wikipedia", target_bytes=TINY, seed=3, delete_fraction=0.0
+        )
+        assert not any(op.kind == "delete" for op in trace)

@@ -1,0 +1,191 @@
+"""Dedup audit trail: live accumulation, oplog rebuild, reconciliation."""
+
+from __future__ import annotations
+
+from repro.core.audit import (
+    AUDIT_SCOPE,
+    REASON_DEDUPED,
+    REASON_UNIQUE,
+    AuditTrail,
+)
+from repro.api import ClusterSpec, open_cluster
+from repro.core.config import DedupConfig
+from repro.db.oplog import OplogEntry
+from repro.obs.export import check_reconciliation, metrics_document
+from repro.obs.registry import MetricsRegistry
+from repro.workloads import make_workload
+
+
+def _entry(seq, op, record_id, payload, base_id=None, encoded=False):
+    return OplogEntry(
+        seq=seq,
+        timestamp=float(seq),
+        op=op,
+        database="d",
+        record_id=record_id,
+        payload=payload,
+        base_id=base_id,
+        encoded=encoded,
+    )
+
+
+class _StoredStub:
+    def __init__(self, raw_size):
+        self.raw_size = raw_size
+
+
+class TestLiveTrail:
+    def test_record_appends_and_counts(self):
+        trail = AuditTrail()
+        trail.record(
+            record_id="r1", database="d", reason=REASON_DEDUPED,
+            raw_size=1000, saved_bytes=900, source_id="r0", similarity=0.9,
+        )
+        trail.record(
+            record_id="r2", database="d", reason="no_candidate",
+            raw_size=500, saved_bytes=0,
+        )
+        assert len(trail) == 2
+        assert trail.total_saved_bytes == 900
+        assert trail.total_raw_bytes == 1500
+        assert trail.reason_counts() == {REASON_DEDUPED: 1, "no_candidate": 1}
+        entry = trail.lookup("d", "r1")
+        assert entry.source_id == "r0"
+        assert entry.similarity == 0.9
+        assert not entry.rebuilt
+        assert trail.lookup("d", "missing") is None
+
+    def test_counters_track_entries(self):
+        registry = MetricsRegistry()
+        trail = AuditTrail(registry=registry)
+        trail.record(
+            record_id="r1", database="d", reason=REASON_DEDUPED,
+            raw_size=1000, saved_bytes=900, source_id="r0", similarity=0.5,
+        )
+        trail.record(
+            record_id="r2", database="d", reason="below_threshold",
+            raw_size=400, saved_bytes=0,
+        )
+        assert registry.value("audit_saved_bytes_total", AUDIT_SCOPE) == 900
+        assert registry.value("audit_raw_bytes_total", AUDIT_SCOPE) == 1400
+        assert registry.value(
+            "audit_records_total", AUDIT_SCOPE, REASON_DEDUPED
+        ) == 1
+        assert registry.value(
+            "audit_records_total", AUDIT_SCOPE, "below_threshold"
+        ) == 1
+
+    def test_query_filters_newest_first(self):
+        trail = AuditTrail()
+        for index in range(5):
+            trail.record(
+                record_id=f"r{index}",
+                database="d" if index % 2 == 0 else "e",
+                reason=REASON_DEDUPED if index < 3 else "no_candidate",
+                raw_size=100, saved_bytes=10,
+            )
+        newest = trail.query(limit=2)
+        assert [e.record_id for e in newest] == ["r4", "r3"]
+        only_d = trail.query(database="d")
+        assert [e.record_id for e in only_d] == ["r4", "r2", "r0"]
+        deduped = trail.query(reason=REASON_DEDUPED)
+        assert [e.record_id for e in deduped] == ["r2", "r1", "r0"]
+
+    def test_summary_rollup(self):
+        trail = AuditTrail()
+        trail.record(
+            record_id="a", database="d", reason=REASON_DEDUPED,
+            raw_size=100, saved_bytes=80, source_id="z", similarity=0.8,
+        )
+        trail.record(
+            record_id="b", database="d", reason=REASON_DEDUPED,
+            raw_size=100, saved_bytes=60, source_id="z", similarity=0.4,
+        )
+        trail.record(
+            record_id="c", database="d", reason="no_candidate",
+            raw_size=100, saved_bytes=0,
+        )
+        summary = trail.summary()
+        assert summary["records"] == 3
+        assert summary["rebuilt"] == 0
+        assert summary["deduped_records"] == 2
+        assert summary["saved_bytes"] == 140
+        assert summary["raw_bytes"] == 300
+        assert abs(summary["mean_similarity"] - 0.6) < 1e-9
+
+
+class TestRebuild:
+    def test_rebuild_maps_oplog_rows_to_entries(self):
+        trail = AuditTrail()
+        oplog = [
+            _entry(1, "insert", "r0", b"x" * 100),
+            _entry(2, "insert", "r1", b"y" * 20, base_id="r0", encoded=True),
+            _entry(3, "update", "r0", b"x" * 120),
+            _entry(4, "delete", "r0", b""),
+        ]
+        records = {"r1": _StoredStub(raw_size=110)}
+        rebuilt = trail.rebuild_from_oplog(oplog, records)
+        assert rebuilt == 2
+        unique = trail.lookup("d", "r0")
+        assert unique.reason == REASON_UNIQUE
+        assert unique.raw_size == 100
+        assert unique.saved_bytes == 0
+        assert unique.rebuilt
+        deduped = trail.lookup("d", "r1")
+        assert deduped.reason == REASON_DEDUPED
+        assert deduped.source_id == "r0"
+        assert deduped.similarity is None  # score is not persisted
+        assert deduped.raw_size == 110
+        assert deduped.saved_bytes == 90
+        assert deduped.rebuilt
+
+    def test_rebuild_never_bumps_registry_counters(self):
+        registry = MetricsRegistry()
+        trail = AuditTrail(registry=registry)
+        trail.rebuild_from_oplog(
+            [_entry(1, "insert", "r0", b"x" * 50)], {}
+        )
+        assert len(trail) == 1
+        assert registry.value("audit_saved_bytes_total", AUDIT_SCOPE) == 0
+        assert registry.value("audit_raw_bytes_total", AUDIT_SCOPE) == 0
+
+    def test_rebuild_falls_back_to_payload_size(self):
+        # Encoded insert whose record was since deleted: the oplog
+        # payload is the only size left, so savings degrade to zero.
+        trail = AuditTrail()
+        trail.rebuild_from_oplog(
+            [_entry(1, "insert", "gone", b"d" * 30, base_id="b", encoded=True)],
+            {},
+        )
+        entry = trail.lookup("d", "gone")
+        assert entry.raw_size == 30
+        assert entry.saved_bytes == 0
+
+
+class TestEngineIntegration:
+    def test_every_insert_leaves_one_entry(self):
+        cluster = open_cluster(
+            ClusterSpec(dedup=DedupConfig(chunk_size=256))
+        ).cluster
+        workload = make_workload("wikipedia", seed=11, target_bytes=120_000)
+        operations = list(workload.insert_trace())
+        cluster.run(operations)
+        trail = cluster.primary.engine.audit
+        inserts = sum(1 for op in operations if op.kind == "insert")
+        assert len(trail) == inserts
+        assert trail.reason_counts().get(REASON_DEDUPED, 0) > 0
+
+    def test_audit_reconciles_with_dedup_counters(self):
+        cluster = open_cluster(
+            ClusterSpec(dedup=DedupConfig(chunk_size=256))
+        ).cluster
+        workload = make_workload("wikipedia", seed=3, target_bytes=120_000)
+        cluster.run(workload.insert_trace())
+        registry = cluster.registry
+        saved = registry.value("audit_saved_bytes_total", AUDIT_SCOPE)
+        raw = registry.value("audit_raw_bytes_total", AUDIT_SCOPE)
+        trail = cluster.primary.engine.audit
+        assert saved == trail.total_saved_bytes
+        assert raw == trail.total_raw_bytes
+        problems = check_reconciliation(metrics_document(registry))
+        assert problems == []

@@ -220,6 +220,34 @@ class TestGarbageCollection:
         again, _ = db.read("wiki", "v0")
         assert again == contents[0]
 
+    def test_read_survives_consecutive_tombstones(self, db, revision_chain):
+        # Chain v0 <- v1 <- v2 <- v3 with BOTH middles deleted: the
+        # first splice can reap v1 (and cascade into v2) while the
+        # stale chain list still names them; later iterations must skip
+        # the reaped records instead of rewriting ghosts.
+        contents = revision_chain[:4]
+        for index, content in enumerate(contents):
+            db.insert("wiki", f"v{index}", content)
+        for index in range(3):
+            db.apply_writeback(
+                backward_entry(
+                    contents[index + 1], contents[index],
+                    f"v{index}", f"v{index + 1}", len(contents[index]),
+                )
+            )
+        db.delete("v1")
+        db.delete("v2")
+        content, _ = db.read("wiki", "v0")
+        assert content == contents[0]
+        # A repeat read finishes the splice; both tombstones end reaped.
+        content, _ = db.read("wiki", "v0")
+        assert content == contents[0]
+        assert db.records["v0"].base_id == "v3"
+        assert "v1" not in db.records
+        assert "v2" not in db.records
+        for record in db.records.values():
+            assert record.record_id in db.pages
+
 
 class TestMeasurements:
     def test_logical_raw_bytes_tracks_live_records(self, db):

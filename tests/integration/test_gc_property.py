@@ -1,0 +1,120 @@
+"""Property: garbage collection is invisible to clients and never costs space.
+
+Hypothesis drives seeded insert/update/delete/drain sequences against two
+identical clusters; one of them additionally runs a GC+compaction batch at
+arbitrary points chosen by the strategy. After every operation both
+clusters' client-visible reads must match a plain dict model exactly, and
+at the end the collecting cluster's stored footprint must be no larger
+than the never-collecting one — the GC planner's footprint guard makes
+that monotone by construction.
+
+Record ids are never reused (tombstoned ids stay reserved), so a handle
+that is deleted and re-inserted gets a fresh id with near-identical
+content — which is exactly what builds the delta chains onto tombstones
+that give the collector something to do.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import ClusterSpec, open_cluster
+from repro.core.config import DedupConfig
+from repro.db.invariants import check_database
+from repro.workloads.base import Operation
+
+operation = st.one_of(
+    st.tuples(st.just("insert"), st.integers(0, 5), st.integers(0, 5)),
+    st.tuples(st.just("update"), st.integers(0, 5), st.integers(0, 5)),
+    st.tuples(st.just("delete"), st.integers(0, 5), st.just(0)),
+    st.tuples(st.just("drain"), st.just(0), st.just(0)),
+    st.tuples(st.just("gc"), st.just(0), st.just(0)),
+)
+
+
+def content_for(handle: int, variant: int) -> bytes:
+    """Similar content per handle: variants mutate a few shared words."""
+    rng = random.Random(handle * 131)
+    words = [f"w{rng.randrange(60)}" for _ in range(350)]
+    mutator = random.Random(handle * 131 + variant + 1)
+    for _ in range(6):
+        words[mutator.randrange(len(words))] = f"m{mutator.randrange(60)}"
+    return (" ".join(words)).encode()
+
+
+def _cluster():
+    return open_cluster(
+        ClusterSpec(dedup=DedupConfig(chunk_size=64))
+    ).cluster
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(operation, min_size=1, max_size=25))
+def test_gc_preserves_reads_and_never_grows_storage(ops):
+    with_gc = _cluster()
+    without_gc = _cluster()
+    # handle -> (record_id, content) for currently-live records.
+    model: dict[int, tuple[str, bytes]] = {}
+    insert_seq = 0
+
+    def run_both(op: Operation) -> None:
+        with_gc.execute(op)
+        without_gc.execute(op)
+
+    for kind, handle, variant in ops:
+        if kind == "insert":
+            if handle in model:
+                continue
+            record_id = f"h{handle}-{insert_seq}"
+            insert_seq += 1
+            content = content_for(handle, variant)
+            run_both(Operation(
+                kind="insert", database="d",
+                record_id=record_id, content=content,
+            ))
+            model[handle] = (record_id, content)
+        elif kind == "update":
+            if handle not in model:
+                continue
+            record_id, _ = model[handle]
+            content = content_for(handle, variant) + b" updated"
+            run_both(Operation(
+                kind="update", database="d",
+                record_id=record_id, content=content,
+            ))
+            model[handle] = (record_id, content)
+        elif kind == "delete":
+            if handle not in model:
+                continue
+            record_id, _ = model.pop(handle)
+            run_both(Operation(
+                kind="delete", database="d", record_id=record_id,
+            ))
+        elif kind == "drain":
+            run_both(Operation(kind="idle", idle_seconds=2.0))
+        elif kind == "gc":
+            with_gc.primary.collect_garbage()
+
+        # Client-visible state must match the model on both clusters.
+        for cluster in (with_gc, without_gc):
+            for record_id, expected in model.values():
+                content, _ = cluster.read("d", record_id)
+                assert content == expected
+
+    with_gc.finalize()
+    without_gc.finalize()
+    with_gc.primary.collect_garbage()
+
+    for cluster in (with_gc, without_gc):
+        for record_id, expected in model.values():
+            content, _ = cluster.read("d", record_id)
+            assert content == expected
+        assert check_database(cluster.primary.db).ok
+
+    assert (
+        with_gc.primary.db.stored_bytes
+        <= without_gc.primary.db.stored_bytes
+    )
